@@ -1,0 +1,89 @@
+(* scalehls-dse: the automated DSE driver (the -multiple-level-dse flow).
+   Reads HLS-C (or a named PolyBench kernel), explores the design space under
+   the platform constraints, and reports the Pareto frontier plus the chosen
+   design point — the per-kernel machinery behind Table 3. *)
+
+open Cmdliner
+open Mir
+open Scalehls
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let platform_of_name = function
+  | "xc7z020" -> Vhls.Platform.xc7z020
+  | "vu9p" | "vu9p-slr" -> Vhls.Platform.vu9p_slr
+  | p ->
+      Fmt.epr "unknown platform %s (xc7z020 | vu9p-slr)@." p;
+      exit 2
+
+let run input kernel size top platform samples iterations seed emit =
+  let ctx = Ir.Ctx.create () in
+  let src, top =
+    match (input, kernel) with
+    | Some path, _ ->
+        let top =
+          match top with
+          | Some t -> t
+          | None -> Filename.remove_extension (Filename.basename path)
+        in
+        (read_file path, top)
+    | None, Some k ->
+        let k = Models.Polybench.of_name k in
+        (Models.Polybench.source k ~n:size, Models.Polybench.name k)
+    | None, None ->
+        Fmt.epr "provide an input file or --kernel NAME@.";
+        exit 2
+  in
+  let platform = platform_of_name platform in
+  let m = Pipeline.compile_c ctx src in
+  let t0 = Unix.gettimeofday () in
+  let r = Dse.run ~samples ~iterations ~seed ctx m ~top ~platform in
+  let dt = Unix.gettimeofday () -. t0 in
+  Fmt.pr "explored %d design points in %.2fs@." r.Dse.explored dt;
+  (match r.Dse.best with
+  | Some b ->
+      let base = Vhls.Synth.synthesize m ~top in
+      let opt = Vhls.Synth.synthesize r.Dse.module_ ~top in
+      Fmt.pr "best point: %a@." Dse.pp_point b.Dse.point;
+      Fmt.pr "estimate  : %a@." Estimator.pp_estimate b.Dse.estimate;
+      Fmt.pr "synthesis : %a@." Vhls.Synth.pp_report opt;
+      Fmt.pr "baseline  : %a@." Vhls.Synth.pp_report base;
+      Fmt.pr "speedup   : %.1fx@."
+        (float_of_int base.Vhls.Synth.latency /. float_of_int (max 1 opt.Vhls.Synth.latency))
+  | None -> Fmt.pr "no feasible design point found@.");
+  Fmt.pr "@.Pareto frontier (latency-increasing):@.";
+  List.iter
+    (fun p ->
+      Fmt.pr "  latency=%-10d dsp=%-5d %a@." p.Dse.estimate.Estimator.latency
+        p.Dse.estimate.Estimator.usage.Vhls.Platform.u_dsp Dse.pp_point p.Dse.point)
+    r.Dse.pareto;
+  (match emit with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Emit.Emit_cpp.emit_module r.Dse.module_);
+      close_out oc;
+      Fmt.pr "@.emitted optimized HLS C++ to %s@." path
+  | None -> ());
+  0
+
+let input = Arg.(value & pos 0 (some file) None & info [] ~docv:"INPUT.c" ~doc:"HLS-C input file")
+let kernel = Arg.(value & opt (some string) None & info [ "kernel" ] ~docv:"NAME" ~doc:"PolyBench kernel (bicg|gemm|gesummv|syr2k|syrk|trmm)")
+let size = Arg.(value & opt int 64 & info [ "size" ] ~docv:"N" ~doc:"Problem size for --kernel")
+let top = Arg.(value & opt (some string) None & info [ "top" ] ~docv:"FUNC" ~doc:"Top function")
+let platform = Arg.(value & opt string "xc7z020" & info [ "platform" ] ~doc:"Target platform")
+let samples = Arg.(value & opt int 32 & info [ "samples" ] ~doc:"Initial random samples")
+let iterations = Arg.(value & opt int 80 & info [ "iterations" ] ~doc:"Neighbor-traversal steps")
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed")
+let emit = Arg.(value & opt (some string) None & info [ "emit" ] ~docv:"OUT.cpp" ~doc:"Emit optimized HLS C++")
+
+let cmd =
+  let doc = "ScaleHLS automated design space exploration" in
+  Cmd.v (Cmd.info "scalehls-dse" ~doc)
+    Term.(const run $ input $ kernel $ size $ top $ platform $ samples $ iterations $ seed $ emit)
+
+let () = exit (Cmd.eval' cmd)

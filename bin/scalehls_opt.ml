@@ -1,0 +1,57 @@
+(* scalehls-opt: the pass driver (the paper's scalehls-opt command-line
+   tool). Reads HLS-C, compiles it through the front-end into the scf level,
+   then applies the requested passes and prints the resulting IR. *)
+
+open Cmdliner
+open Mir
+open Scalehls
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run input passes no_raise timing =
+  let ctx = Ir.Ctx.create () in
+  let src = read_file input in
+  let m = Frontend.Codegen.compile_source ctx src in
+  let pipeline =
+    (if no_raise then [] else [ Frontend.Raise_affine.pass ])
+    @ List.map
+        (fun name ->
+          match Transform_lib.find_pass name with
+          | Some p -> p
+          | None ->
+              Fmt.epr "unknown pass: %s@.known passes:@.%a@." name
+                Fmt.(list ~sep:(any "@.") string)
+                (List.map fst Transform_lib.all_passes);
+              exit 2)
+        passes
+  in
+  let m, timings = Pass.run_timed ~verify:true pipeline ctx m in
+  Printer.print m;
+  if timing then Fmt.pr "@.%a@." Pass.pp_timings timings;
+  0
+
+let input =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.c" ~doc:"HLS-C input file")
+
+let passes =
+  Arg.(
+    value & opt_all string []
+    & info [ "p"; "pass" ] ~docv:"PASS"
+        ~doc:"Pass to run (repeatable), e.g. -p affine-loop-perfectization")
+
+let no_raise =
+  Arg.(value & flag & info [ "no-raise" ] ~doc:"Stay at the scf level (skip -raise-scf-to-affine)")
+
+let timing =
+  Arg.(value & flag & info [ "pass-timing" ] ~doc:"Print the pass timing report")
+
+let cmd =
+  let doc = "ScaleHLS pass driver: HLS-C in, transformed IR out" in
+  Cmd.v (Cmd.info "scalehls-opt" ~doc) Term.(const run $ input $ passes $ no_raise $ timing)
+
+let () = exit (Cmd.eval' cmd)

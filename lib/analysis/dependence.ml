@@ -1,0 +1,339 @@
+(** Affine memory dependence analysis over loop bands. Access functions are
+    assumed (and checked to be) linear over the band's induction variables;
+    dependences between accesses with equal coefficient matrices are {e
+    uniform} and yield constant distance/direction vectors. Anything else is
+    treated conservatively. Used by loop-order legality (§5.2.2), pipelining
+    II estimation (Eq. 4), and loop fusion. *)
+
+open Mir
+
+module A = Affine
+
+type direction = Eq | Lt of int  (** forced positive distance *) | Star
+
+type dep = {
+  src : Mem_access.t;
+  dst : Mem_access.t;
+  dirs : direction list;  (** one per band dim, outermost first *)
+}
+
+(* ---- Rational feasibility via Fourier-Motzkin --------------------------------
+   Constraints are [coeffs . x + cst >= 0]. Rational relaxation of the integer
+   dependence problem: infeasible (rational) implies infeasible (integer), so
+   pruning a direction is sound; feasible keeps the dependence
+   (conservative). *)
+
+module Fm = struct
+  type lin = { coeffs : int array; cst : int }
+
+  exception Give_up
+
+  let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+  let normalize (c : lin) =
+    let g = Array.fold_left (fun acc x -> gcd acc x) (abs c.cst) c.coeffs in
+    if g > 1 then
+      { coeffs = Array.map (fun x -> x / g) c.coeffs; cst = c.cst / g }
+    else c
+
+  (* b*p + a*n eliminates variable v when p.(v) = a > 0 and n.(v) = -b < 0. *)
+  let combine v (p : lin) (n : lin) =
+    let a = p.coeffs.(v) and b = -n.coeffs.(v) in
+    let coeffs =
+      Array.init (Array.length p.coeffs) (fun i ->
+          (b * p.coeffs.(i)) + (a * n.coeffs.(i)))
+    in
+    normalize { coeffs; cst = (b * p.cst) + (a * n.cst) }
+
+  (** Rational feasibility of the conjunction of [cons] over [nvars]
+      variables. Raises [Give_up] past the blowup cap. *)
+  let feasible ~nvars cons =
+    let cap = 3000 in
+    let rec go v cons =
+      if List.length cons > cap then raise Give_up;
+      if v = nvars then
+        List.for_all (fun (c : lin) -> c.cst >= 0) cons
+      else begin
+        let pos, rest = List.partition (fun c -> c.coeffs.(v) > 0) cons in
+        let neg, zero = List.partition (fun c -> c.coeffs.(v) < 0) rest in
+        let combined =
+          List.concat_map (fun p -> List.map (fun n -> combine v p n) neg) pos
+        in
+        go (v + 1) (zero @ combined)
+      end
+    in
+    go 0 (List.map normalize cons)
+end
+
+(** Linear form of an access: per array dim, (coeffs over band dims, const).
+    [None] when some dim expression is not linear. *)
+let linear_form ~num_dims (a : Mem_access.t) =
+  let rows = List.map (A.Expr.coefficients ~num_dims) a.Mem_access.exprs in
+  if List.for_all Option.is_some rows then Some (List.map Option.get rows)
+  else None
+
+(** Compute the dependence between two accesses to the same memref, as a
+    family of direction vectors over [num_dims] band dims. Returns [None] if
+    the accesses provably never touch the same element; [Some dirs] otherwise.
+    Conservative fallback: all-[Star].
+
+    Uniform case (equal coefficient rows): solving
+    [A·I + k_src = A·(I + delta) + k_dst] gives [A·delta = k_src - k_dst];
+    dims appearing with nonzero coefficient get a forced delta, dims absent
+    from every row are free ([Star]). *)
+let dependence ~num_dims (src : Mem_access.t) (dst : Mem_access.t) =
+  if src.Mem_access.memref.Ir.vid <> dst.Mem_access.memref.Ir.vid then None
+  else if not (src.Mem_access.is_store || dst.Mem_access.is_store) then None
+  else
+    match (linear_form ~num_dims src, linear_form ~num_dims dst) with
+    | Some rows_s, Some rows_d ->
+        let coeffs_equal =
+          List.for_all2 (fun (cs, _) (cd, _) -> cs = cd) rows_s rows_d
+        in
+        if not coeffs_equal then
+          (* Non-uniform: first the GCD test, then a rational feasibility
+             refinement with iteration domains and affine.if guards
+             (Fourier-Motzkin). Without domain info, fall back to all-Star. *)
+          let impossible =
+            List.exists2
+              (fun (cs, ks) (cd, kd) ->
+                (* src indices over I, dst over I' — treat as 2n dims:
+                   cs·I - cd·I' + (ks - kd) = 0 must be solvable. *)
+                let coeffs = Array.append cs (Array.map (fun c -> -c) cd) in
+                not (A.Solve.gcd_test coeffs (ks - kd)))
+              rows_s rows_d
+          in
+          if impossible then None
+          else Some (List.init num_dims (fun _ -> Star))
+        else
+          (* Uniform: per band dim j, collect the forced delta_j if some row
+             has a nonzero coefficient on j. *)
+          let b = List.map2 (fun (_, ks) (_, kd) -> ks - kd) rows_s rows_d in
+          let exception Independent in
+          let dirs () =
+            List.init num_dims (fun j ->
+                (* rows constraining dim j *)
+                let constraining =
+                  List.filteri (fun _ ((cs : int array), _) -> cs.(j) <> 0)
+                    (List.map2 (fun (cs, _) bd -> (cs, bd)) rows_s b)
+                in
+                match constraining with
+                | [] -> Star
+                | _ -> (
+                    (* Tentatively solve assuming all other deltas are 0:
+                       cs.(j) * delta_j = bd for each row where only dim j
+                       appears; if a row has several nonzero coeffs we cannot
+                       isolate — fall back to Star. *)
+                    let sole =
+                      List.filter_map
+                        (fun ((cs : int array), bd) ->
+                          let others =
+                            Array.exists (fun k -> k <> 0)
+                              (Array.mapi (fun i c -> if i = j then 0 else c) cs)
+                          in
+                          if others then None
+                          else if bd mod cs.(j) = 0 then Some (bd / cs.(j))
+                          else raise Independent)
+                        constraining
+                    in
+                    match List.sort_uniq compare sole with
+                    | [] -> Star
+                    | [ d ] -> if d = 0 then Eq else Lt d
+                    | _ -> raise Independent))
+          in
+          (try
+             let ds = dirs () in
+             (* Rows with coefficient only outside j were ignored; check the
+                pure-constant rows: coeffs all zero -> need b = 0. *)
+             let const_rows_ok =
+               List.for_all2
+                 (fun ((cs : int array), _) bd ->
+                   Array.for_all (fun c -> c = 0) cs = false || bd = 0)
+                 (List.map2 (fun (cs, _) bd -> (cs, bd)) rows_s b)
+                 b
+             in
+             if const_rows_ok then Some ds else None
+           with Independent -> None)
+    | _ -> Some (List.init num_dims (fun _ -> Star))
+
+(* ---- Guard- and domain-aware refinement ----------------------------------- *)
+
+(* The src-before-dst direction of a non-uniform pair, carried at band level
+   [level]: is it feasible, given iteration domains [ranges] (inclusive, in
+   iteration space) and the accesses' affine.if guards? Variables are
+   x = I ++ I' (2*num_dims). *)
+let direction_feasible ~num_dims ~ranges (src : Mem_access.t) (dst : Mem_access.t)
+    ~level =
+  let nvars = 2 * num_dims in
+  let lin coeffs cst = { Fm.coeffs; cst } in
+  let var side d =
+    (* unit vector for I_d (side=0) or I'_d (side=1) *)
+    let a = Array.make nvars 0 in
+    a.((side * num_dims) + d) <- 1;
+    a
+  in
+  let cons = ref [] in
+  let add c = cons := c :: !cons in
+  (* domains *)
+  Array.iteri
+    (fun d (lo, hi) ->
+      List.iter
+        (fun side ->
+          add (lin (var side d) (-lo));
+          add (lin (Array.map (fun x -> -x) (var side d)) hi))
+        [ 0; 1 ])
+    ranges;
+  (* touch equalities from the linear rows *)
+  let rows side (a : Mem_access.t) =
+    List.map
+      (fun e ->
+        match A.Expr.coefficients ~num_dims (A.Expr.simplify e) with
+        | Some (coeffs, cst) ->
+            let full = Array.make nvars 0 in
+            Array.iteri (fun d c -> full.((side * num_dims) + d) <- c) coeffs;
+            Some (full, cst)
+        | None -> None)
+      a.Mem_access.exprs
+  in
+  let rs = rows 0 src and rd = rows 1 dst in
+  let ok = ref true in
+  List.iter2
+    (fun r1 r2 ->
+      match (r1, r2) with
+      | Some (c1, k1), Some (c2, k2) ->
+          let diff = Array.init nvars (fun i -> c1.(i) - c2.(i)) in
+          add (lin diff (k1 - k2));
+          add (lin (Array.map (fun x -> -x) diff) (k2 - k1))
+      | _ -> ok := false)
+    rs rd;
+  (* guards *)
+  let add_guards side (a : Mem_access.t) =
+    List.iter
+      (fun (c : A.Set_.constraint_) ->
+        match A.Expr.coefficients ~num_dims (A.Expr.simplify c.A.Set_.expr) with
+        | Some (coeffs, cst) ->
+            let full = Array.make nvars 0 in
+            Array.iteri (fun d v -> full.((side * num_dims) + d) <- v) coeffs;
+            add (lin full cst);
+            if c.A.Set_.eq then add (lin (Array.map (fun x -> -x) full) (-cst))
+        | None -> () (* unrepresentable guard: drop (sound) *))
+      a.Mem_access.guards
+  in
+  add_guards 0 src;
+  add_guards 1 dst;
+  (* lexicographic ordering: I_d = I'_d for d < level; I'_level >= I_level+1 *)
+  for d = 0 to level - 1 do
+    let diff = Array.init nvars (fun i ->
+        if i = d then 1 else if i = num_dims + d then -1 else 0)
+    in
+    add (lin diff 0);
+    add (lin (Array.map (fun x -> -x) diff) 0)
+  done;
+  let lt = Array.init nvars (fun i ->
+      if i = level then -1 else if i = num_dims + level then 1 else 0)
+  in
+  add (lin lt (-1));
+  if not !ok then true
+  else try Fm.feasible ~nvars !cons with Fm.Give_up -> true
+
+(* Replace an all-Star (non-uniform) dependence by one dep per feasible
+   carried level; [] when no level is feasible (no loop-carried dep). *)
+let refine_star_dep ~num_dims ~ranges (dep : dep) =
+  if not (List.for_all (( = ) Star) dep.dirs) then [ dep ]
+  else
+    List.filter_map
+      (fun level ->
+        if direction_feasible ~num_dims ~ranges dep.src dep.dst ~level then
+          Some
+            {
+              dep with
+              dirs =
+                List.init num_dims (fun d ->
+                    if d < level then Eq else if d = level then Lt 1 else Star);
+            }
+        else None)
+      (List.init num_dims Fun.id)
+
+(** All dependences among [accs] (ordered pairs, both directions), over
+    [num_dims] band dims. [ranges] (inclusive iteration-space bounds per
+    dim) enables the guard-aware Fourier-Motzkin refinement of non-uniform
+    dependences. *)
+let all_deps ?ranges ~num_dims accs =
+  List.concat_map
+    (fun src ->
+      List.filter_map
+        (fun dst ->
+          if src == dst then None
+          else
+            match dependence ~num_dims src dst with
+            | Some dirs -> Some { src; dst; dirs }
+            | None -> None)
+        accs)
+    accs
+  @ List.filter_map
+      (fun a ->
+        (* Self-dependence of a store with itself across iterations. *)
+        if a.Mem_access.is_store then
+          match dependence ~num_dims a a with
+          | Some dirs -> Some { src = a; dst = a; dirs }
+          | None -> None
+        else None)
+      accs
+  |> fun deps ->
+  match ranges with
+  | None -> deps
+  | Some ranges -> List.concat_map (refine_star_dep ~num_dims ~ranges) deps
+
+(** Expand [Star] entries into [Lt 1] and [Eq] alternatives, producing the
+    set of concrete direction vectors to check for permutation legality.
+    Reverse directions are covered because {!all_deps} emits ordered pairs
+    both ways. *)
+let expand_dirs dirs =
+  List.fold_left
+    (fun acc d ->
+      match d with
+      | Star -> List.concat_map (fun v -> [ v @ [ Eq ]; v @ [ Lt 1 ] ]) acc
+      | d -> List.map (fun v -> v @ [ d ]) acc)
+    [ [] ] dirs
+
+(** Is a permuted direction vector legal (lexicographically non-negative)?
+    [perm.(i)] is the new position of original dim [i]. *)
+let permuted_legal perm dirs =
+  let n = List.length dirs in
+  let arr = Array.make n Eq in
+  List.iteri (fun i d -> arr.(perm.(i)) <- d) dirs;
+  let rec scan i =
+    if i >= n then true
+    else
+      match arr.(i) with
+      | Eq -> scan (i + 1)
+      | Lt d when d > 0 -> true
+      | Lt _ -> false
+      | Star -> false
+  in
+  scan 0
+
+(** Is permutation [perm] legal for all dependences [deps]? *)
+let permutation_legal perm deps =
+  List.for_all
+    (fun dep -> List.for_all (permuted_legal perm) (expand_dirs dep.dirs))
+    deps
+
+(** Loop-carried dependence distance on band dim [dim], assuming all other
+    dims are equal ([Eq]): for II computation of a pipelined loop. Returns
+    [None] when no dependence is carried by [dim];
+    [Some d] with the (positive) forced distance otherwise. [Star] at [dim]
+    means carried at every distance: returns [Some 1]. *)
+let carried_distance ~dim dep =
+  let ok_elsewhere =
+    List.for_all
+      (fun (j, d) -> j = dim || d = Eq || d = Star)
+      (List.mapi (fun j d -> (j, d)) dep.dirs)
+  in
+  if not ok_elsewhere then None
+  else
+    match List.nth dep.dirs dim with
+    | Eq -> None
+    | Lt d when d > 0 -> Some d
+    | Lt _ -> None
+    | Star -> Some 1

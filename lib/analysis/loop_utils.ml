@@ -1,0 +1,130 @@
+(** Loop-band analysis utilities shared by the transform passes, the QoR
+    estimator, and the DSE engine. A {e loop band} (Table 2) is a maximal
+    chain of singly-nested [affine.for] ops. *)
+
+open Mir
+open Dialects
+
+module A = Affine
+
+(** Top-level affine loops of a function body (band roots). *)
+let top_loops f = List.filter Affine_d.is_for (Func.func_body f)
+
+(** All affine.for ops anywhere in [o]. *)
+let all_loops o = Walk.collect Affine_d.is_for o
+
+(** All bands of a function: one per top-level loop. *)
+let bands f = List.map Affine_d.band (top_loops f)
+
+(** The induction variables of a band, outermost first. *)
+let band_ivs band = List.map Affine_d.induction_var band
+
+(** Constant iteration ranges [(lb, ub-1)] of each band loop (inclusive), for
+    interval reasoning. [None] if some loop has non-constant bounds. *)
+let band_ranges band =
+  let rs =
+    List.map
+      (fun l ->
+        match Affine_d.const_bounds l with
+        | Some (lb, ub) -> Some (lb, ub - 1)
+        | None -> None)
+      band
+  in
+  if List.for_all Option.is_some rs then Some (Array.of_list (List.map Option.get rs))
+  else None
+
+(** Product of constant trip counts of a band ([None] if any is unknown). *)
+let band_trip_count band =
+  List.fold_left
+    (fun acc l ->
+      match (acc, Affine_d.const_trip_count l) with
+      | Some a, Some t -> Some (a * t)
+      | _ -> None)
+    (Some 1) band
+
+(** Replace the band rooted at [old_root] inside function [f] by
+    [new_root]. *)
+let replace_band_in f ~old_root ~new_root =
+  let replaced = ref false in
+  let rec rewrite ops =
+    List.map
+      (fun o ->
+        if (not !replaced) && o == old_root then begin
+          replaced := true;
+          new_root
+        end
+        else
+          {
+            o with
+            Ir.regions =
+              List.map
+                (List.map (fun b -> { b with Ir.bops = rewrite b.Ir.bops }))
+                o.Ir.regions;
+          })
+      ops
+  in
+  let f' = Ir.with_body f (rewrite (Func.func_body f)) in
+  if not !replaced then invalid_arg "Loop_utils.replace_band_in: root not found";
+  f'
+
+(** Apply [transform] to every band of [f] (top-level loops). The transform
+    receives the band root and returns a replacement op. *)
+let map_bands ctx f transform =
+  Ir.with_body f
+    (List.map
+       (fun o -> if Affine_d.is_for o then transform ctx o else o)
+       (Func.func_body f))
+
+(** Is the value [v] defined by an [arith.constant]? Search [scope] for the
+    defining op and return the constant. *)
+let constant_of_value scope (v : Ir.value) =
+  let found = ref None in
+  Walk.iter_op
+    (fun o ->
+      if Arith.is_constant o && List.exists (fun r -> Ir.value_equal r v) o.Ir.results
+      then found := Arith.constant_int_value o)
+    scope;
+  !found
+
+(** Map from value id to the affine.for op (within [scope]) whose induction
+    variable it is. *)
+let iv_defs scope =
+  let tbl = Hashtbl.create 32 in
+  Walk.iter_op
+    (fun o ->
+      if Affine_d.is_for o then
+        Hashtbl.replace tbl (Affine_d.induction_var o).Ir.vid o)
+    scope;
+  tbl
+
+(** Inclusive value range of an index value inside [scope]:
+    constants give [(c, c)], affine ivs with constant bounds give
+    [(lb, ub-1)]. *)
+let range_of_value scope (v : Ir.value) =
+  match constant_of_value scope v with
+  | Some c -> Some (c, c)
+  | None -> (
+      let ivs = iv_defs scope in
+      match Hashtbl.find_opt ivs v.Ir.vid with
+      | Some l -> (
+          match Affine_d.const_bounds l with
+          | Some (lb, ub) when ub > lb -> Some (lb, ub - 1)
+          | _ -> None)
+      | None -> None)
+
+(** Depth of nesting of affine loops containing each loop: association list
+    from loop (physical identity) to depth, outermost = 0. *)
+let loop_depths f =
+  let acc = ref [] in
+  let rec go depth o =
+    if Affine_d.is_for o then begin
+      acc := (o, depth) :: !acc;
+      List.iter (go (depth + 1)) (Ir.body_ops o)
+    end
+    else
+      List.iter
+        (List.iter (fun b -> List.iter (go depth) b.Ir.bops))
+        o.Ir.regions
+  in
+  List.iter (go 0) (Func.func_body f);
+  List.rev !acc

@@ -1,0 +1,57 @@
+(** The [-cse] pass: common-subexpression elimination of pure scalar ops
+    within each block (MLIR built-in behaviour, Table 2). After loop unrolling
+    this deduplicates the replicated address arithmetic and constants. *)
+
+open Mir
+open Dialects
+
+(* Structural key of a pure op, with operands replaced by their canonical
+   representative ids. *)
+let key canon (o : Ir.op) =
+  let operand_ids =
+    List.map
+      (fun (v : Ir.value) ->
+        match Hashtbl.find_opt canon v.Ir.vid with
+        | Some (v' : Ir.value) -> v'.Ir.vid
+        | None -> v.Ir.vid)
+      o.Ir.operands
+  in
+  (o.Ir.name, operand_ids, List.map (fun (k, a) -> (k, Attr.to_string a)) o.Ir.attrs)
+
+let rec cse_block canon (b : Ir.block) : Ir.block =
+  let seen = Hashtbl.create 32 in
+  let bops =
+    List.filter_map
+      (fun o ->
+        let o = cse_regions canon o in
+        if Arith.is_pure o && List.length o.Ir.results = 1 then begin
+          let k = key canon o in
+          match Hashtbl.find_opt seen k with
+          | Some (prev : Ir.value) ->
+              Hashtbl.replace canon (Ir.result o).Ir.vid prev;
+              None
+          | None ->
+              Hashtbl.replace seen k (Ir.result o);
+              Some o
+        end
+        else Some o)
+      b.Ir.bops
+  in
+  { b with Ir.bops = bops }
+
+and cse_regions canon (o : Ir.op) : Ir.op =
+  {
+    o with
+    Ir.regions = List.map (List.map (cse_block canon)) o.Ir.regions;
+  }
+
+let run_on_func _ctx f =
+  let canon : (int, Ir.value) Hashtbl.t = Hashtbl.create 64 in
+  let f = cse_regions canon f in
+  (* Rewrite uses of eliminated values to their representatives. *)
+  let subst =
+    Hashtbl.fold (fun vid v acc -> Ir.Value_map.add vid v acc) canon Ir.Value_map.empty
+  in
+  if Ir.Value_map.is_empty subst then f else Walk.substitute_uses subst f
+
+let pass = Pass.on_funcs "cse" run_on_func

@@ -1,0 +1,474 @@
+(** The automated DSE engine (§5.5.2): searches the Pareto frontier of the
+    latency–area tradeoff space. Each dimension of the design space is a
+    tunable parameter of a transform pass (Table 2): loop perfectization
+    on/off, variable-bound removal on/off, the loop permutation, per-loop
+    tile sizes (intra-tile loops are sunk innermost and fully unrolled),
+    the pipeline target II — with array partitioning derived automatically
+    from the resulting access pattern.
+
+    The 4-step neighbor-traversing algorithm: (1) sample the design space and
+    evaluate each point with the QoR estimator; (2) extract the Pareto
+    frontier; (3) evaluate the closest neighbor of a randomly selected Pareto
+    point; (4) repeat (2)–(3) until no eligible neighbor exists or the
+    iteration budget is exhausted. *)
+
+open Mir
+open Dialects
+open Analysis
+open Vhls
+
+type point = {
+  lp : bool;
+  rvb : bool;
+  perm : int list;  (** perm-map over the main band (original -> position) *)
+  tiles : int list;  (** per main-band loop, in permuted order *)
+  target_ii : int;
+}
+
+let pp_point fmt p =
+  Fmt.pf fmt "lp=%b rvb=%b perm=[%a] tiles=[%a] ii=%d" p.lp p.rvb
+    Fmt.(list ~sep:comma int)
+    p.perm
+    Fmt.(list ~sep:comma int)
+    p.tiles p.target_ii
+
+type evaluated = {
+  point : point;
+  estimate : Estimator.estimate;
+  feasible : bool;
+}
+
+type result = {
+  best : evaluated option;  (** lowest latency among feasible points *)
+  pareto : evaluated list;  (** latency-increasing Pareto frontier *)
+  explored : int;
+  module_ : Ir.op;  (** the transformed module of [best] *)
+}
+
+(* ---- Point application ----------------------------------------------------- *)
+
+let cleanup_passes =
+  [
+    Canonicalize.pass;
+    Simplify_affine_if.pass;
+    Canonicalize.pass;
+    Store_forward.pass;
+    Simplify_memref.pass;
+    Cse.pass;
+    Canonicalize.pass;
+  ]
+
+(* The main band of a function: deepest; ties broken by trip count. *)
+let main_band f =
+  let bands = Loop_utils.bands f in
+  List.fold_left
+    (fun acc band ->
+      match acc with
+      | None -> Some band
+      | Some best ->
+          let depth b = List.length b in
+          let trips b = Option.value ~default:0 (Loop_utils.band_trip_count b) in
+          if
+            depth band > depth best
+            || (depth band = depth best && trips band > trips best)
+          then Some band
+          else acc)
+    None bands
+
+(* Rebuild [f] with the main band transformed by [g]. *)
+let on_main_band f g =
+  match main_band f with
+  | None -> f
+  | Some band ->
+      let root = List.hd band in
+      Loop_utils.replace_band_in f ~old_root:root ~new_root:(g band)
+
+exception Inapplicable
+
+(** Apply a design point to a module: returns the transformed module (with
+    all levels of cleanup applied and directives set). Raises [Inapplicable]
+    when e.g. the permutation is illegal for this point's preprocessing. *)
+let apply_point ctx m ~top (pt : point) : Ir.op =
+  (* RVB runs before LP: once variable bounds are constants, perfectization
+     can sink through loops that were potentially empty before. *)
+  let pre =
+    (if pt.rvb then [ Remove_var_bound.pass ] else [])
+    @ (if pt.lp then [ Loop_perfectization.pass ] else [])
+    @ [ Canonicalize.pass ]
+  in
+  let m = Pass.run_pipeline pre ctx m in
+  let f = Ir.find_func_exn m top in
+  (* Permute + tile + unroll the main band. *)
+  let f =
+    on_main_band f (fun band ->
+        let n = List.length band in
+        if List.length pt.perm <> n then raise Inapplicable;
+        let deps = Loop_order_opt.band_deps ~scope:f band in
+        let root =
+          if pt.perm = List.init n Fun.id then List.hd band
+          else if
+            (* permutation requires a perfect band: otherwise in-between ops
+               would be dropped and the innermost-body dependence analysis is
+               incomplete *)
+            Affine_d.band_is_perfect band
+            && Loop_order_opt.legal_permutation ~deps band pt.perm
+          then Loop_order_opt.permute_band band pt.perm
+          else raise Inapplicable
+        in
+        let band' = Affine_d.band root in
+        let tiles =
+          if List.length pt.tiles = List.length band' then pt.tiles
+          else raise Inapplicable
+        in
+        match Loop_tile.tile_band ctx band' ~sizes:tiles with
+        | Some root' -> root'
+        | None -> root)
+  in
+  let m = Ir.replace_func m f in
+  (* Fully unroll the intra-tile point loops: pipelining's legalization does
+     this for everything nested under the pipeline target; the target is the
+     innermost *original* loop, i.e. at depth n-1 of the tiled band. *)
+  let f = Ir.find_func_exn m top in
+  let f =
+    Ir.with_body f
+      (List.map
+         (fun o ->
+           if Affine_d.is_for o then begin
+             (* The pipeline target is the innermost *original* loop, i.e.
+                depth n-1 of the tiled band; the intra-tile point loops sit
+                below it and are fully unrolled by pipeline legalization. *)
+             let band = Affine_d.band o in
+             let depth = List.length pt.perm - 1 in
+             let depth = min depth (List.length band - 1) in
+             match Loop_pipeline.pipeline_band ctx ~target_ii:pt.target_ii ~depth o with
+             | Some o' -> o'
+             | None -> raise Inapplicable
+           end
+           else o)
+         (Func.func_body f))
+  in
+  let m = Ir.replace_func m f in
+  let m = Pass.run_pipeline cleanup_passes ctx m in
+  let m = Array_partition.run ctx m in
+  Pass.run_pipeline [ Canonicalize.pass ] ctx m
+
+(* ---- Space definition -------------------------------------------------------- *)
+
+type space = {
+  lp_options : bool list;
+  rvb_options : bool list;
+  perms : int list list;  (** legal permutations of the preprocessed band *)
+  tile_options : int list list;  (** per permuted-band loop *)
+  ii_options : int list;
+  max_unroll : int;  (** cap on the product of tile sizes *)
+}
+
+let space_size s =
+  List.length s.lp_options * List.length s.rvb_options * List.length s.perms
+  * List.fold_left (fun a o -> a * List.length o) 1 s.tile_options
+  * List.length s.ii_options
+
+(** Build the design space of [top] in [m]: preprocess with LP+RVB, inspect
+    the main band. [max_unroll] caps the product of tile sizes (total unroll
+    after absorbing point loops). *)
+let build_space ?(max_unroll = 256) ?(max_ii = 8) ctx m ~top =
+  let m' =
+    Pass.run_pipeline
+      [ Remove_var_bound.pass; Loop_perfectization.pass; Canonicalize.pass ]
+      ctx m
+  in
+  let f = Ir.find_func_exn m' top in
+  (* LP applicability is judged on the RVB-preprocessed function too: bounds
+     made constant may unlock sinking that is unsound beforehand (e.g. a
+     possibly-empty triangular loop). *)
+  let rvb_applicable = Remove_var_bound.applicable (Ir.find_func_exn m top) in
+  let lp_applicable =
+    Loop_perfectization.applicable (Ir.find_func_exn m top)
+    || Loop_perfectization.applicable
+         (Ir.find_func_exn (Pass.run_one Remove_var_bound.pass ctx m) top)
+  in
+  match main_band f with
+  | None ->
+      {
+        lp_options = [ false ];
+        rvb_options = [ false ];
+        perms = [ [] ];
+        tile_options = [];
+        ii_options = [ 1 ];
+        max_unroll;
+      }
+  | Some band ->
+      let n = List.length band in
+      let deps = Loop_order_opt.band_deps ~scope:f band in
+      let identity = List.init n Fun.id in
+      let perms =
+        List.filter
+          (fun p -> Loop_order_opt.legal_permutation ~deps band p)
+          (Loop_order_opt.permutations identity)
+      in
+      let perms = if perms = [] then [ identity ] else perms in
+      let tile_options =
+        List.map
+          (fun l ->
+            match Affine_d.const_trip_count l with
+            | Some trip when trip > 1 ->
+                List.filter (fun p -> trip mod p = 0) (Affine.Solve.powers_of_two (min trip max_unroll))
+            | _ -> [ 1 ])
+          band
+      in
+      {
+        lp_options = (if lp_applicable then [ true; false ] else [ false ]);
+        rvb_options = (if rvb_applicable then [ true; false ] else [ false ]);
+        perms;
+        tile_options;
+        ii_options = List.init max_ii (fun i -> i + 1);
+        max_unroll;
+      }
+
+(* ---- Evaluation -------------------------------------------------------------- *)
+
+let area_of (e : Estimator.estimate) = e.Estimator.usage.Platform.u_dsp
+
+let evaluate ?(max_unroll = 256) ctx m ~top ~platform (pt : point) :
+    (evaluated * Ir.op) option =
+  let unroll_product = List.fold_left ( * ) 1 pt.tiles in
+  if unroll_product > max_unroll then None
+  else
+    try
+      let m' = apply_point ctx m ~top pt in
+      let e = Estimator.estimate m' ~top in
+      let feasible = Platform.fits platform e.Estimator.usage in
+      Some ({ point = pt; estimate = e; feasible }, m')
+    with Inapplicable | Invalid_argument _ -> None
+
+(* ---- Pareto frontier ----------------------------------------------------------- *)
+
+(** Extract the Pareto frontier over (latency, area), keeping only feasible
+    points; sorted by increasing latency. *)
+let pareto_frontier (pts : evaluated list) : evaluated list =
+  let feas = List.filter (fun p -> p.feasible) pts in
+  let dominated a b =
+    (* b dominates a *)
+    b.estimate.Estimator.latency <= a.estimate.Estimator.latency
+    && area_of b.estimate <= area_of a.estimate
+    && (b.estimate.Estimator.latency < a.estimate.Estimator.latency
+       || area_of b.estimate < area_of a.estimate)
+  in
+  let frontier =
+    List.filter (fun a -> not (List.exists (fun b -> dominated a b) feas)) feas
+  in
+  (* dedup identical (latency, area) *)
+  let tbl = Hashtbl.create 16 in
+  let frontier =
+    List.filter
+      (fun p ->
+        let k = (p.estimate.Estimator.latency, area_of p.estimate) in
+        if Hashtbl.mem tbl k then false
+        else begin
+          Hashtbl.replace tbl k ();
+          true
+        end)
+      frontier
+  in
+  List.sort
+    (fun a b -> compare a.estimate.Estimator.latency b.estimate.Estimator.latency)
+    frontier
+
+(* ---- Sampling and neighbors ------------------------------------------------------ *)
+
+let random_point rng (s : space) : point =
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  (* Tile sizes are sampled under the unroll budget: dims are visited in a
+     random order and each picks among options that still fit, so large
+     problem sizes do not drown the sampler in infeasible points. *)
+  let n = List.length s.tile_options in
+  let order = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- t
+  done;
+  let tiles = Array.make n 1 in
+  let remaining = ref s.max_unroll in
+  Array.iter
+    (fun d ->
+      let opts = List.filter (fun t -> t <= !remaining) (List.nth s.tile_options d) in
+      let t = match opts with [] -> 1 | _ -> pick opts in
+      tiles.(d) <- t;
+      remaining := !remaining / max 1 t)
+    order;
+  let perm = pick s.perms in
+  let identity = List.init (List.length perm) Fun.id in
+  (* A non-identity permutation needs a perfect, constant-bound band: couple
+     the LP/RVB knobs to it so samples are not wasted on inapplicable
+     points. *)
+  let lp = if perm <> identity && List.mem true s.lp_options then true else pick s.lp_options in
+  let rvb = if perm <> identity && List.mem true s.rvb_options then true else pick s.rvb_options in
+  { lp; rvb; perm; tiles = Array.to_list tiles; target_ii = pick s.ii_options }
+
+(** Closest neighbors of a point: one dimension moved one step. *)
+let neighbors (s : space) (pt : point) : point list =
+  let adjacent l v =
+    (* elements adjacent to v in l (which is ordered) *)
+    let rec go = function
+      | a :: b :: rest ->
+          if a = v then [ b ]
+          else if b = v then a :: (match rest with x :: _ -> [ x ] | [] -> [])
+          else go (b :: rest)
+      | _ -> []
+    in
+    match go l with
+    | [] -> List.filter (fun x -> x <> v) l (* fall back: any other value *)
+    | ns -> ns
+  in
+  let ii_neighbors =
+    List.map (fun ii -> { pt with target_ii = ii }) (adjacent s.ii_options pt.target_ii)
+  in
+  let tile_neighbors =
+    List.concat
+      (List.mapi
+         (fun i opts ->
+           let v = List.nth pt.tiles i in
+           List.map
+             (fun v' ->
+               { pt with tiles = List.mapi (fun j t -> if j = i then v' else t) pt.tiles })
+             (adjacent opts v))
+         s.tile_options)
+  in
+  let perm_neighbors =
+    List.filter_map
+      (fun p -> if p <> pt.perm then Some { pt with perm = p } else None)
+      s.perms
+  in
+  let flag_neighbors =
+    (if List.length s.lp_options > 1 then [ { pt with lp = not pt.lp } ] else [])
+    @ if List.length s.rvb_options > 1 then [ { pt with rvb = not pt.rvb } ] else []
+  in
+  ii_neighbors @ tile_neighbors @ perm_neighbors @ flag_neighbors
+
+(* ---- The engine -------------------------------------------------------------------- *)
+
+(** Run the DSE: [samples] initial random points, then up to [iterations]
+    neighbor-traversal steps. Deterministic for a given [seed]. *)
+let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
+    ?(max_ii = 8) ?(heuristic_seeds = true) ctx m ~top ~platform : result =
+  let rng = Random.State.make [| seed |] in
+  let s = build_space ~max_unroll ~max_ii ctx m ~top in
+  let seen : (point, unit) Hashtbl.t = Hashtbl.create 64 in
+  let evaluated = ref [] in
+  let explored = ref 0 in
+  let modules : (point * Ir.op) list ref = ref [] in
+  let eval pt =
+    if not (Hashtbl.mem seen pt) then begin
+      Hashtbl.replace seen pt ();
+      incr explored;
+      match evaluate ~max_unroll ctx m ~top ~platform pt with
+      | Some (ev, m') ->
+          evaluated := ev :: !evaluated;
+          if ev.feasible then modules := (pt, m') :: !modules
+      | None -> ()
+    end
+  in
+  (* Step 1: seed with the identity/no-op point plus promising defaults, then
+     random samples. *)
+  let n_band = List.length s.tile_options in
+  let base_pt =
+    {
+      lp = List.hd s.lp_options;
+      rvb = List.hd s.rvb_options;
+      perm = (match s.perms with p :: _ -> p | [] -> []);
+      tiles = List.init n_band (fun _ -> 1);
+      target_ii = 1;
+    }
+  in
+  eval base_pt;
+  (* Heuristic seeds: for each legal permutation, greedy tile sizes that
+     fill the unroll budget innermost-first (the paper's "intra-tile loops
+     absorbed innermost and fully unrolled" shape) at a ladder of IIs and
+     two unroll budgets. These anchor the frontier so the neighbor traversal
+     starts from sensible designs even with few random samples. *)
+  let greedy_tiles budget =
+    let n = List.length s.tile_options in
+    let tiles = Array.make n 1 in
+    let remaining = ref budget in
+    for d = n - 1 downto 0 do
+      let opts = List.filter (fun t -> t <= !remaining) (List.nth s.tile_options d) in
+      let t = List.fold_left max 1 opts in
+      tiles.(d) <- t;
+      remaining := !remaining / max 1 t
+    done;
+    Array.to_list tiles
+  in
+  let lp_on = List.mem true s.lp_options and rvb_on = List.mem true s.rvb_options in
+  let seed_perms =
+    if heuristic_seeds then List.filteri (fun i _ -> i < 4) s.perms else []
+  in
+  List.iter
+    (fun perm ->
+      List.iter
+        (fun budget ->
+          List.iter
+            (fun target_ii ->
+              eval { lp = lp_on; rvb = rvb_on; perm; tiles = greedy_tiles budget; target_ii })
+            [ 1; 8 ])
+        [ max_unroll; max 1 (max_unroll / 4) ])
+    seed_perms;
+  for _ = 1 to samples do
+    eval (random_point rng s)
+  done;
+  (* Steps 2-4: neighbor traversal. *)
+  let continue_ = ref true in
+  let iter = ref 0 in
+  while !continue_ && !iter < iterations do
+    incr iter;
+    let frontier = pareto_frontier !evaluated in
+    match frontier with
+    | [] ->
+        (* nothing feasible yet: keep sampling *)
+        eval (random_point rng s)
+    | _ ->
+        (* Traverse neighbors of a random Pareto point; occasionally also of
+           the fastest infeasible point (raising its II or shrinking its
+           tiles walks it back inside the resource budget). *)
+        let p =
+          let infeasible_best =
+            List.fold_left
+              (fun acc e ->
+                if e.feasible then acc
+                else
+                  match acc with
+                  | Some b when b.estimate.Estimator.latency <= e.estimate.Estimator.latency -> acc
+                  | _ -> Some e)
+              None !evaluated
+          in
+          match infeasible_best with
+          | Some b when Random.State.int rng 4 = 0 -> b
+          | _ -> List.nth frontier (Random.State.int rng (List.length frontier))
+        in
+        let ns =
+          List.filter (fun n -> not (Hashtbl.mem seen n)) (neighbors s p.point)
+        in
+        (match ns with
+        | [] ->
+            (* no unexplored neighbor of this point; try a random sample to
+               avoid premature termination, stop if space is exhausted *)
+            let unexplored_exists = !explored < space_size s in
+            if unexplored_exists then eval (random_point rng s) else continue_ := false
+        | n :: _ -> eval n)
+  done;
+  let frontier = pareto_frontier !evaluated in
+  let best =
+    match frontier with
+    | [] -> None
+    | p :: _ -> Some p (* lowest latency *)
+  in
+  let module_ =
+    match best with
+    | Some b -> (
+        match List.find_opt (fun (pt, _) -> pt = b.point) !modules with
+        | Some (_, m') -> m'
+        | None -> m)
+    | None -> m
+  in
+  { best; pareto = frontier; explored = !explored; module_ }

@@ -1,0 +1,176 @@
+(** The ScaleHLS QoR estimator (§5.5.1): a fast analytical model over the
+    structured directive-level IR, used by the DSE engine to evaluate design
+    points without invoking the (much slower) downstream tool.
+
+    Scheduling: each MLIR block is scheduled ALAP over its dependency graph
+    (define–use plus memory dependences), with memory ports treated as
+    non-shareable. Pipelined loops get II = max(II_res, II_dep, target II)
+    (Eqs. 2–4, with II computed by the shared affine machinery). Resources
+    use the coarser count/II FU-sharing model — intentionally simpler than
+    the virtual downstream tool ({!Vhls.Synth}), which performs list
+    scheduling with a concurrency sweep; the two are cross-validated in the
+    benchmark harness. *)
+
+open Mir
+open Dialects
+open Vhls
+
+type estimate = { latency : int; interval : int; usage : Platform.usage }
+
+let pp_estimate fmt e =
+  Fmt.pf fmt "latency=%d interval=%d %a" e.latency e.interval Platform.pp_usage
+    e.usage
+
+type t = { module_ : Ir.op; cache : (string, estimate) Hashtbl.t }
+
+let create module_ = { module_; cache = Hashtbl.create 16 }
+
+(* Coarse FU usage: ops/II sharing everywhere (non-pipelined code uses II =
+   critical-path length, modelling full sequential reuse). *)
+let fu_usage_shared region ~share =
+  let counts = Hashtbl.create 16 in
+  Walk.iter_op
+    (fun x ->
+      if Fu.is_fu_op x.Ir.name then
+        Hashtbl.replace counts x.Ir.name
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts x.Ir.name)))
+    region;
+  Hashtbl.fold
+    (fun name count acc ->
+      let units = max 1 ((count + share - 1) / share) in
+      let c = Fu.op_cost name in
+      Platform.usage_add acc
+        {
+          Platform.usage_zero with
+          Platform.u_dsp = units * c.Fu.dsp;
+          u_lut = units * c.Fu.lut;
+          u_ff = units * c.Fu.ff;
+        })
+    counts Platform.usage_zero
+
+let rec estimate_func st (f : Ir.op) : estimate =
+  let name = Ir.func_name f in
+  match Hashtbl.find_opt st.cache name with
+  | Some e -> e
+  | None ->
+      let e =
+        match Hlscpp.get_func_directive f with
+        | Some d when d.Hlscpp.dataflow ->
+            let stages =
+              List.filter_map
+                (fun o ->
+                  if Func.is_call o then
+                    Option.map (estimate_func st) (Ir.find_func st.module_ (Func.callee o))
+                  else None)
+                (Func.func_body f)
+            in
+            let latency =
+              List.fold_left (fun a s -> a + s.latency) (List.length stages) stages
+            in
+            let interval =
+              List.fold_left (fun a s -> max a (max s.interval s.latency)) 1 stages
+            in
+            let usage =
+              List.fold_left
+                (fun a s -> Platform.usage_add a s.usage)
+                (Synth.local_memory_usage ~pingpong:(fun _ -> true) f)
+                stages
+            in
+            { latency; interval; usage }
+        | fd ->
+            let lat = estimate_block st ~scope:f (Func.func_body f) in
+            let usage =
+              Platform.usage_add
+                (fu_usage_shared f ~share:(max 1 lat))
+                (Synth.local_memory_usage f)
+            in
+            (* Loops inside still need their pipelined FU usage counted with
+               their own II; recompute as the max of loop usages. *)
+            let loop_usage =
+              Walk.fold_ops
+                (fun acc o ->
+                  match Synth.pipelined_chain o with
+                  | Some (_, target) ->
+                      let ii = pipelined_ii st ~scope:f o target in
+                      Platform.usage_max acc
+                        (fu_usage_shared target ~share:ii)
+                  | None -> acc)
+                Platform.usage_zero f
+            in
+            let usage = Platform.usage_max usage loop_usage in
+            let interval =
+              match fd with
+              | Some d when d.Hlscpp.pipeline -> max 1 d.Hlscpp.target_ii
+              | _ -> lat
+            in
+            { latency = lat; interval; usage }
+      in
+      Hashtbl.replace st.cache name e;
+      e
+
+and pipelined_ii st ~scope root target =
+  ignore st;
+  let chain = match Synth.pipelined_chain root with Some (c, _) -> c | None -> [ target ] in
+  let basis = List.map Affine_d.induction_var chain in
+  let target_ii =
+    match Hlscpp.get_loop_directive target with
+    | Some d -> max 1 d.Hlscpp.loop_target_ii
+    | None -> 1
+  in
+  max target_ii
+    (max (Synth.ii_res ~scope ~basis target) (Synth.ii_dep ~scope ~chain target))
+
+(* ALAP-scheduled latency of an op list. *)
+and estimate_block st ~scope (ops : Ir.op list) : int =
+  let ops =
+    List.filter (fun o -> o.Ir.name <> "affine.yield" && o.Ir.name <> "scf.yield") ops
+  in
+  if ops = [] then 0
+  else begin
+    let delay_of o = op_latency st ~scope o in
+    let g = Sched.build ~delay_of ops in
+    let deadline = Sched.latency g in
+    (* ALAP at the critical-path deadline (the paper's §5.5.1 choice);
+       latency equals the deadline. *)
+    let (_ : int array) = Sched.alap g ~deadline in
+    deadline
+  end
+
+and op_latency st ~scope (o : Ir.op) : int =
+  match o.Ir.name with
+  | "affine.for" | "scf.for" -> (
+      match Synth.pipelined_chain o with
+      | Some (chain, target) ->
+          let total_trip =
+            List.fold_left (fun acc l -> acc * Synth.trip_estimate ~scope l) 1 chain
+          in
+          let iter_lat = estimate_block st ~scope (Ir.body_ops target) in
+          let ii = pipelined_ii st ~scope o target in
+          (ii * max 0 (total_trip - 1)) + iter_lat + 2
+      | None ->
+          let trip =
+            match o.Ir.name with
+            | "affine.for" -> Synth.trip_estimate ~scope o
+            | _ -> 1
+          in
+          let body_lat = estimate_block st ~scope (Ir.body_ops o) in
+          (trip * (body_lat + 1)) + 1)
+  | "affine.if" | "scf.if" ->
+      let lat r =
+        List.fold_left
+          (fun acc (b : Ir.block) -> max acc (estimate_block st ~scope b.Ir.bops))
+          0 r
+      in
+      1 + max (lat (Ir.region o 0)) (lat (Ir.region o 1))
+  | "func.call" -> (
+      match Ir.find_func st.module_ (Func.callee o) with
+      | Some callee -> (estimate_func st callee).latency
+      | None -> 0)
+  | name -> Fu.op_delay name
+
+(** Estimate the design rooted at function [top]. *)
+let estimate module_ ~top =
+  let st = create module_ in
+  match Ir.find_func module_ top with
+  | Some f -> estimate_func st f
+  | None -> invalid_arg (Printf.sprintf "Estimator.estimate: no function %s" top)

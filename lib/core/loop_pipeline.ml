@@ -1,0 +1,64 @@
+(** The [-loop-pipelining] pass (§5.3.1): a legal pipeline directive allows no
+    hierarchy inside the target loop, so the pass first legalizes the target
+    by fully unrolling all contained loops (and requiring contained calls to
+    be pipelined functions). On success the loop is annotated with the
+    pipeline directive (target II), and every enclosing perfectly-nested loop
+    is annotated [flatten] — exactly the Figure 5 (e)/(E) transformation. *)
+
+open Mir
+open Dialects
+
+(** Pipeline the loop at depth [depth] of the band rooted at [root]
+    (0 = outermost). Loops nested below the target are fully unrolled; loops
+    above are marked [flatten]. Returns [None] when legalization fails. *)
+let pipeline_band ctx ?(target_ii = 1) ~depth root =
+  let band = Affine_d.band root in
+  if depth >= List.length band then None
+  else
+    let target = List.nth band depth in
+    match Loop_unroll.unroll_nested ctx target with
+    | None -> None
+    | Some legalized ->
+        if Walk.exists Func.is_call legalized then None
+        else
+          let pipelined =
+            Hlscpp.set_loop_directive legalized
+              {
+                Hlscpp.default_loop_directive with
+                Hlscpp.loop_pipeline = true;
+                loop_target_ii = target_ii;
+              }
+          in
+          (* Rebuild the chain above the target, flattening perfect outer
+             loops. *)
+          let outer = List.filteri (fun i _ -> i < depth) band in
+          let rec build = function
+            | [] -> pipelined
+            | l :: rest ->
+                let inner = build rest in
+                let body =
+                  List.map
+                    (fun o -> if Affine_d.is_for o then inner else o)
+                    (Ir.body_ops l)
+                in
+                let l' = Ir.with_body l body in
+                Hlscpp.set_loop_directive l'
+                  { Hlscpp.default_loop_directive with Hlscpp.flatten = true }
+          in
+          Some (build outer)
+
+(** Pass form: pipeline the innermost loop of every band. *)
+let run_on_func ?(target_ii = 1) ctx f =
+  Ir.with_body f
+    (List.map
+       (fun o ->
+         if Affine_d.is_for o then
+           let band = Affine_d.band o in
+           match pipeline_band ctx ~target_ii ~depth:(List.length band - 1) o with
+           | Some o' -> o'
+           | None -> o
+         else o)
+       (Func.func_body f))
+
+let pass ?target_ii () =
+  Pass.on_funcs "loop-pipelining" (fun ctx f -> run_on_func ?target_ii ctx f)

@@ -1,0 +1,227 @@
+(** Lowering conversions between abstraction levels (the Figure 1 example):
+    - {!affine_to_scf}: [affine.for/if/load/store/apply] → [scf.for/if] +
+      [memref.load/store] with explicitly materialized index arithmetic;
+    - {!scf_to_cf}: structured control flow → unstructured basic blocks with
+      [cf.br]/[cf.cond_br] (multi-block regions), demonstrating the loss of
+      structure the multi-level approach avoids. *)
+
+open Mir
+open Dialects
+
+module A = Affine
+
+(* Materialize an affine expression as arith ops over the given operand
+   values. Returns (ops, value). *)
+let rec materialize ctx (operands : Ir.value array) (e : A.Expr.t) :
+    Ir.op list * Ir.value =
+  match A.Expr.simplify e with
+  | A.Expr.Const c ->
+      let op, v = Arith.constant_i ctx c in
+      ([ op ], v)
+  | A.Expr.Dim i -> ([], operands.(i))
+  | e -> materialize_raw ctx operands e
+
+and materialize_raw ctx operands e =
+  let bin name a b =
+    let ops_a, va = materialize ctx operands a in
+    let ops_b, vb = materialize ctx operands b in
+    let op, v = Arith.binary ctx name va vb ~ty:Ty.Index in
+    (ops_a @ ops_b @ [ op ], v)
+  in
+  match e with
+  | A.Expr.Const c ->
+      let op, v = Arith.constant_i ctx c in
+      ([ op ], v)
+  | A.Expr.Dim i -> ([], operands.(i))
+  | A.Expr.Sym _ -> invalid_arg "Lower.materialize: symbols unsupported"
+  | A.Expr.Add (a, b) -> bin "arith.addi" a b
+  | A.Expr.Mul (a, b) -> bin "arith.muli" a b
+  | A.Expr.Mod (a, b) -> bin "arith.remi" a b
+  | A.Expr.Floor_div (a, b) | A.Expr.Ceil_div (a, b) -> bin "arith.divi" a b
+
+(* ---- affine -> scf ---------------------------------------------------------- *)
+
+let rec lower_affine_op ctx (o : Ir.op) : Ir.op list =
+  match o.Ir.name with
+  | "affine.for" ->
+      let b = Affine_d.bounds o in
+      let lower_bound fold_name map operands =
+        let opnds = Array.of_list operands in
+        match A.Map.results map with
+        | [ e ] -> materialize ctx opnds e
+        | es ->
+            (* multi-result bounds: fold with max/min *)
+            List.fold_left
+              (fun (ops, acc) e ->
+                let ops_e, v = materialize ctx opnds e in
+                let op, v' = Arith.binary ctx fold_name acc v ~ty:Ty.Index in
+                (ops @ ops_e @ [ op ], v'))
+              (let ops0, v0 = materialize ctx opnds (List.hd es) in
+               (ops0, v0))
+              (List.tl es)
+      in
+      let lb_ops, lb = lower_bound "arith.maxi" b.Affine_d.lb_map b.Affine_d.lb_operands in
+      let ub_ops, ub = lower_bound "arith.mini" b.Affine_d.ub_map b.Affine_d.ub_operands in
+      let step_op, step = Arith.constant_i ctx b.Affine_d.step in
+      let iv = Affine_d.induction_var o in
+      let body = List.concat_map (lower_affine_op ctx) (Ir.body_ops o) in
+      lb_ops @ ub_ops @ [ step_op; Scf.for_raw ~lb ~ub ~step ~iv body ]
+  | "affine.load" ->
+      let mem = Memref.accessed_memref o in
+      let opnds = Array.of_list (Memref.access_indices o) in
+      let idx_ops, idxs =
+        List.fold_left
+          (fun (ops, vs) e ->
+            let ops_e, v = materialize ctx opnds e in
+            (ops @ ops_e, vs @ [ v ]))
+          ([], [])
+          (A.Map.results (Affine_d.access_map o))
+      in
+      idx_ops @ [ Ir.mk "memref.load" ~operands:(mem :: idxs) ~results:o.Ir.results ]
+  | "affine.store" ->
+      let v = Memref.stored_value o in
+      let mem = Memref.accessed_memref o in
+      let opnds = Array.of_list (Memref.access_indices o) in
+      let idx_ops, idxs =
+        List.fold_left
+          (fun (ops, vs) e ->
+            let ops_e, value = materialize ctx opnds e in
+            (ops @ ops_e, vs @ [ value ]))
+          ([], [])
+          (A.Map.results (Affine_d.access_map o))
+      in
+      idx_ops @ [ Ir.mk "memref.store" ~operands:(v :: mem :: idxs) ~results:[] ]
+  | "affine.apply" ->
+      let opnds = Array.of_list o.Ir.operands in
+      let ops, v =
+        materialize ctx opnds (List.hd (A.Map.results (Affine_d.access_map o)))
+      in
+      (* rebind the result: emit an identity addi 0 to keep the SSA name *)
+      let zop, zero = Arith.constant_i ctx 0 in
+      ops @ [ zop; Ir.mk "arith.addi" ~operands:[ v; zero ] ~results:o.Ir.results ]
+  | "affine.if" ->
+      let set = Affine_d.if_set o in
+      let opnds = Array.of_list o.Ir.operands in
+      (* conjunction of the constraints *)
+      let cond_ops, cond =
+        List.fold_left
+          (fun (ops, acc) (c : A.Set_.constraint_) ->
+            let e_ops, v = materialize ctx opnds c.A.Set_.expr in
+            let zop, zero = Arith.constant_i ctx 0 in
+            let cop, cv =
+              Arith.cmpi ctx (if c.A.Set_.eq then "eq" else "sge") v zero
+            in
+            match acc with
+            | None -> (ops @ e_ops @ [ zop; cop ], Some cv)
+            | Some prev ->
+                let aop, av = Arith.binary ctx "arith.andi" prev cv ~ty:Ty.I1 in
+                (ops @ e_ops @ [ zop; cop; aop ], Some av))
+          ([], None) (A.Set_.constraints set)
+      in
+      let cond_ops, cond =
+        match cond with
+        | Some c -> (cond_ops, c)
+        | None ->
+            let op, v = Arith.constant_i ctx ~ty:Ty.I1 1 in
+            ([ op ], v)
+      in
+      let then_ = List.concat_map (lower_affine_op ctx) (List.concat_map (fun (b : Ir.block) -> b.Ir.bops) (Ir.region o 0)) in
+      let else_ = List.concat_map (lower_affine_op ctx) (List.concat_map (fun (b : Ir.block) -> b.Ir.bops) (Ir.region o 1)) in
+      cond_ops @ [ Scf.if_ ~cond ~then_ ~else_ ]
+  | "affine.yield" -> [ Scf.yield ]
+  | _ ->
+      [
+        {
+          o with
+          Ir.regions =
+            List.map
+              (List.map (fun (b : Ir.block) ->
+                   { b with Ir.bops = List.concat_map (lower_affine_op ctx) b.Ir.bops }))
+              o.Ir.regions;
+        };
+      ]
+
+let affine_to_scf =
+  Pass.on_funcs "lower-affine-to-scf" (fun ctx f ->
+      Ir.with_body f (List.concat_map (lower_affine_op ctx) (Func.func_body f)))
+
+(* ---- scf -> cf (unstructured) -------------------------------------------------
+   Each function becomes a single region whose blocks are linked by
+   [cf.br]/[cf.cond_br] terminators carrying a "dest"/"true_dest"/"false_dest"
+   block-index attribute (our minimal CFG encoding). *)
+
+type cfg = { mutable blocks : (Ir.value list * Ir.op list) list }
+
+let add_block cfg args =
+  cfg.blocks <- cfg.blocks @ [ (args, []) ];
+  List.length cfg.blocks - 1
+
+let append cfg i ops =
+  cfg.blocks <-
+    List.mapi (fun j (args, body) -> if j = i then (args, body @ ops) else (args, body)) cfg.blocks
+
+let br ~dest operands =
+  Ir.mk "cf.br" ~attrs:[ ("dest", Attr.Int dest) ] ~operands ~results:[]
+
+let cond_br cond ~true_dest ~false_dest =
+  Ir.mk "cf.cond_br"
+    ~attrs:[ ("true_dest", Attr.Int true_dest); ("false_dest", Attr.Int false_dest) ]
+    ~operands:[ cond ] ~results:[]
+
+(* Flatten the ops of one block-context into the CFG; returns the block index
+   where control continues. *)
+let rec flatten ctx cfg cur (ops : Ir.op list) : int =
+  match ops with
+  | [] -> cur
+  | o :: rest -> (
+      match o.Ir.name with
+      | "scf.for" ->
+          let lb, ub, step = Scf.for_bounds o in
+          let iv = Scf.induction_var o in
+          (* header block with the iv as block argument *)
+          let header = add_block cfg [ iv ] in
+          append cfg cur [ br ~dest:header [ lb ] ];
+          let body_start = add_block cfg [] in
+          let exit = add_block cfg [] in
+          let cmp, cv = Arith.cmpi ctx "slt" iv ub in
+          append cfg header [ cmp; cond_br cv ~true_dest:body_start ~false_dest:exit ];
+          let body_end =
+            flatten ctx cfg body_start
+              (List.filter (fun x -> x.Ir.name <> "scf.yield") (Ir.body_ops o))
+          in
+          let incr, iv' = Arith.addi ctx iv step in
+          append cfg body_end [ incr; br ~dest:header [ iv' ] ];
+          flatten ctx cfg exit rest
+      | "scf.if" ->
+          let cond = List.hd o.Ir.operands in
+          let then_start = add_block cfg [] in
+          let else_start = add_block cfg [] in
+          let join = add_block cfg [] in
+          append cfg cur [ cond_br cond ~true_dest:then_start ~false_dest:else_start ];
+          let t_end =
+            flatten ctx cfg then_start
+              (List.filter (fun x -> x.Ir.name <> "scf.yield")
+                 (List.concat_map (fun (b : Ir.block) -> b.Ir.bops) (Ir.region o 0)))
+          in
+          append cfg t_end [ br ~dest:join [] ];
+          let e_end =
+            flatten ctx cfg else_start
+              (List.filter (fun x -> x.Ir.name <> "scf.yield")
+                 (List.concat_map (fun (b : Ir.block) -> b.Ir.bops) (Ir.region o 1)))
+          in
+          append cfg e_end [ br ~dest:join [] ];
+          flatten ctx cfg join rest
+      | _ ->
+          append cfg cur [ o ];
+          flatten ctx cfg cur rest)
+
+let scf_to_cf =
+  Pass.on_funcs "lower-scf-to-cf" (fun ctx f ->
+      let args = Func.func_args f in
+      let cfg = { blocks = [] } in
+      let entry = add_block cfg args in
+      let (_ : int) = flatten ctx cfg entry (Func.func_body f) in
+      let region =
+        List.map (fun (bargs, bops) -> { Ir.bargs; Ir.bops = bops }) cfg.blocks
+      in
+      { f with Ir.regions = [ region ] })

@@ -1,0 +1,420 @@
+(** Lowering of the graph-level IR to affine loop nests over memrefs
+    ("bufferization" + loop generation). Each tensor becomes a memref (the
+    batch dimension, always 1 for inference, is dropped); each graph op
+    becomes a loop nest; weights become on-chip int8 memrefs initialized at
+    configuration time ([init_seed] attribute), and compute is quantized
+    int8 x int8 with int8-requantized activation buffers (one DSP per MAC,
+    matching the paper's DNN memory footprints and DSP-efficiency scale).
+    Functions returning tensors
+    are rewritten to take output memref arguments (as the C++ emitter
+    requires, §6.2). Padded convolutions materialize an explicitly padded
+    input buffer so the compute nest stays guard-free. *)
+
+open Mir
+open Dialects
+
+module A = Affine
+
+exception Lower_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Lower_error s)) fmt
+
+(* Drop the leading batch dim (always 1). *)
+let buffer_shape tensor_shape =
+  match tensor_shape with
+  | 1 :: rest when rest <> [] -> rest
+  | shape -> shape
+
+type env = {
+  ctx : Ir.Ctx.t;
+  buffers : (int, Ir.value) Hashtbl.t;  (** tensor vid -> memref value *)
+  mutable acc : Ir.op list;  (** reversed *)
+}
+
+let emit env op = env.acc <- op :: env.acc
+
+let emitr env (op, r) =
+  emit env op;
+  r
+
+let buffer_of env (v : Ir.value) =
+  match Hashtbl.find_opt env.buffers v.Ir.vid with
+  | Some m -> m
+  | None -> error "lower_graph: tensor %%%d has no buffer" v.Ir.vid
+
+(* Allocate the buffer for a result tensor, unless a destination is
+   imposed (returned tensors write into the output argument). *)
+let result_buffer env ?dst (v : Ir.value) =
+  let m =
+    match dst with
+    | Some m -> m
+    | None ->
+        let shape, _ = Ty.as_tensor v.Ir.vty in
+        emitr env (Memref.alloc env.ctx (buffer_shape shape) Ty.I8)
+  in
+  Hashtbl.replace env.buffers v.Ir.vid m;
+  m
+
+(* Build a perfect nest over [dims] (trip counts, outermost first); the body
+   callback gets the ivs outermost-first and returns body ops. *)
+let rec nest env dims body_fn =
+  match dims with
+  | [] -> body_fn []
+  | d :: rest ->
+      [
+        Affine_d.for_const env.ctx ~lb:0 ~ub:d (fun iv ->
+            nest env rest (fun ivs -> body_fn (iv :: ivs)) @ [ Affine_d.yield ]);
+      ]
+
+(* Integer accumulator constant, emitted inline inside nests. *)
+let iconst ctx v = Arith.constant_i ctx ~ty:Ty.I32 v
+
+(* affine accesses with explicit result exprs over the iv operands *)
+let aload ctx mem ~exprs ivs =
+  Affine_d.load ctx mem ~map:(A.Map.make ~num_dims:(List.length ivs) ~num_syms:0 exprs) ivs
+
+let astore ctx value mem ~exprs ivs =
+  Affine_d.store ctx value mem
+    ~map:(A.Map.make ~num_dims:(List.length ivs) ~num_syms:0 exprs)
+    ivs
+
+let dims n = List.init n A.Expr.dim
+
+(* Load an int8 weight (used directly by the int32 MAC). *)
+let wload ctx w ~exprs ivs =
+  let lop, lv = aload ctx w ~exprs ivs in
+  ([ lop ], lv)
+
+(* Explicitly padded copy of [src] ([c;h;w]) with margin [pad]. *)
+let padded_buffer env src ~pad =
+  let mr = Ty.as_memref src.Ir.vty in
+  match mr.Ty.shape with
+  | [ c; h; w ] ->
+      let padded =
+        emitr env (Memref.alloc env.ctx [ c; h + (2 * pad); w + (2 * pad) ] Ty.I8)
+      in
+      let zero_ops =
+        nest env [ c; h + (2 * pad); w + (2 * pad) ] (fun ivs ->
+            let cop, cv = iconst env.ctx 0 in
+            [ cop; astore env.ctx cv padded ~exprs:(dims 3) ivs ])
+      in
+      let copy_ops =
+        nest env [ c; h; w ] (fun ivs ->
+            let lop, lv = aload env.ctx src ~exprs:(dims 3) ivs in
+            [
+              lop;
+              astore env.ctx lv padded
+                ~exprs:
+                  [
+                    A.Expr.dim 0;
+                    A.Expr.add (A.Expr.dim 1) (A.Expr.const pad);
+                    A.Expr.add (A.Expr.dim 2) (A.Expr.const pad);
+                  ]
+                ivs;
+            ])
+      in
+      List.iter (emit env) (zero_ops @ copy_ops);
+      padded
+  | _ -> error "padded_buffer: expected 3-d activation"
+
+(* ---- Per-op lowerings ------------------------------------------------------ *)
+
+let lower_conv2d env (o : Ir.op) ?dst ~depthwise () =
+  let ctx = env.ctx in
+  let stride = Ir.int_attr o "stride" and pad = Ir.int_attr o "pad" in
+  let input = buffer_of env (List.nth o.Ir.operands 0) in
+  let weight = buffer_of env (List.nth o.Ir.operands 1) in
+  let out = result_buffer env ?dst (Ir.result o) in
+  let input = if pad = 0 then input else padded_buffer env input ~pad in
+  let out_shape = (Ty.as_memref out.Ir.vty).Ty.shape in
+  let w_shape = (Ty.as_memref weight.Ir.vty).Ty.shape in
+  match (out_shape, w_shape) with
+  | [ oc; oh; ow ], [ _; wic; kh; kw ] ->
+      let red_dims = if depthwise then [ kh; kw ] else [ wic; kh; kw ] in
+      let ops =
+        nest env [ oc; oh; ow ] (fun out_ivs ->
+            let zop, zv = iconst ctx 0 in
+            let init = astore ctx zv out ~exprs:(dims 3) out_ivs in
+            let inner =
+              nest env red_dims (fun red_ivs ->
+                  let ivs = out_ivs @ red_ivs in
+                  let n = List.length ivs in
+                  (* iv positions: 0=oc 1=oh 2=ow, then reduction ivs *)
+                  let d = A.Expr.dim in
+                  let c_expr, u_pos, v_pos =
+                    if depthwise then (d 0, 3, 4) else (d 3, 4, 5)
+                  in
+                  let iy =
+                    A.Expr.add (A.Expr.mul (A.Expr.const stride) (d 1)) (d u_pos)
+                  in
+                  let ix =
+                    A.Expr.add (A.Expr.mul (A.Expr.const stride) (d 2)) (d v_pos)
+                  in
+                  let lop, lv =
+                    aload ctx input ~exprs:[ c_expr; iy; ix ]
+                      (List.filteri (fun i _ -> i < n) ivs)
+                  in
+                  let w_exprs =
+                    if depthwise then [ d 0; A.Expr.const 0; d u_pos; d v_pos ]
+                    else [ d 0; d 3; d u_pos; d v_pos ]
+                  in
+                  let wops, wv = wload ctx weight ~exprs:w_exprs ivs in
+                  let oop, ov = aload ctx out ~exprs:(dims 3) ivs in
+                  let mop, mv = Arith.muli ctx lv wv in
+                  let aop, av = Arith.addi ctx ov mv in
+                  let st = astore ctx av out ~exprs:(dims 3) ivs in
+                  (lop :: wops) @ [ oop; mop; aop; st ])
+            in
+            (zop :: init :: inner))
+      in
+      List.iter (emit env) ops
+  | _ -> error "conv2d lowering: unexpected shapes"
+
+let lower_dense env (o : Ir.op) ?dst () =
+  let ctx = env.ctx in
+  let input = buffer_of env (List.nth o.Ir.operands 0) in
+  let weight = buffer_of env (List.nth o.Ir.operands 1) in
+  let out = result_buffer env ?dst (Ir.result o) in
+  match ((Ty.as_memref out.Ir.vty).Ty.shape, (Ty.as_memref weight.Ir.vty).Ty.shape) with
+  | [ oc ], [ _; ic ] ->
+      let ops =
+        nest env [ oc ] (fun out_ivs ->
+            let zop, zv = iconst ctx 0 in
+            let init = astore ctx zv out ~exprs:(dims 1) out_ivs in
+            let inner =
+              nest env [ ic ] (fun red_ivs ->
+                  let ivs = out_ivs @ red_ivs in
+                  let d = A.Expr.dim in
+                  let lop, lv = aload ctx input ~exprs:[ d 1 ] ivs in
+                  let wops, wv = wload ctx weight ~exprs:[ d 0; d 1 ] ivs in
+                  let oop, ov = aload ctx out ~exprs:[ d 0 ] ivs in
+                  let mop, mv = Arith.muli ctx lv wv in
+                  let aop, av = Arith.addi ctx ov mv in
+                  let st = astore ctx av out ~exprs:[ d 0 ] ivs in
+                  (lop :: wops) @ [ oop; mop; aop; st ])
+            in
+            (zop :: init :: inner))
+      in
+      List.iter (emit env) ops
+  | _ -> error "dense lowering: unexpected shapes"
+
+let lower_elementwise env (o : Ir.op) ?dst kind =
+  let ctx = env.ctx in
+  let a = buffer_of env (List.nth o.Ir.operands 0) in
+  let out = result_buffer env ?dst (Ir.result o) in
+  let shape = (Ty.as_memref out.Ir.vty).Ty.shape in
+  let n = List.length shape in
+  let ops =
+    nest env shape (fun ivs ->
+        let lop, lv = aload ctx a ~exprs:(dims n) ivs in
+        match kind with
+        | `Relu ->
+            let zop, zv = iconst ctx 0 in
+            let mop, mv = Arith.binary ctx "arith.maxi" lv zv ~ty:Ty.I32 in
+            [ lop; zop; mop; astore ctx mv out ~exprs:(dims n) ivs ]
+        | `Copy -> [ lop; astore ctx lv out ~exprs:(dims n) ivs ]
+        | `Add ->
+            let b = buffer_of env (List.nth o.Ir.operands 1) in
+            let lop2, lv2 = aload ctx b ~exprs:(dims n) ivs in
+            let aop, av = Arith.addi ctx lv lv2 in
+            [ lop; lop2; aop; astore ctx av out ~exprs:(dims n) ivs ])
+  in
+  List.iter (emit env) ops
+
+let lower_pool env (o : Ir.op) ?dst kind =
+  let ctx = env.ctx in
+  let kernel = Ir.int_attr o "kernel" and stride = Ir.int_attr o "stride" in
+  let input = buffer_of env (List.nth o.Ir.operands 0) in
+  let out = result_buffer env ?dst (Ir.result o) in
+  match (Ty.as_memref out.Ir.vty).Ty.shape with
+  | [ c; oh; ow ] ->
+      let d = A.Expr.dim in
+      let ops =
+        nest env [ c; oh; ow ] (fun out_ivs ->
+            (* init with the window's first element (max) or zero (avg) *)
+            let init_ops =
+              match kind with
+              | `Max ->
+                  let lop, lv =
+                    aload ctx input
+                      ~exprs:
+                        [
+                          d 0;
+                          A.Expr.mul (A.Expr.const stride) (d 1);
+                          A.Expr.mul (A.Expr.const stride) (d 2);
+                        ]
+                      out_ivs
+                  in
+                  [ lop; astore ctx lv out ~exprs:(dims 3) out_ivs ]
+              | `Avg ->
+                  let zop, zv = iconst ctx 0 in
+                  [ zop; astore ctx zv out ~exprs:(dims 3) out_ivs ]
+            in
+            let inner =
+              nest env [ kernel; kernel ] (fun red_ivs ->
+                  let ivs = out_ivs @ red_ivs in
+                  let iy = A.Expr.add (A.Expr.mul (A.Expr.const stride) (d 1)) (d 3) in
+                  let ix = A.Expr.add (A.Expr.mul (A.Expr.const stride) (d 2)) (d 4) in
+                  let lop, lv = aload ctx input ~exprs:[ d 0; iy; ix ] ivs in
+                  let oop, ov = aload ctx out ~exprs:(dims 3) ivs in
+                  match kind with
+                  | `Max ->
+                      let mop, mv = Arith.binary ctx "arith.maxi" ov lv ~ty:Ty.I32 in
+                      [ lop; oop; mop; astore ctx mv out ~exprs:(dims 3) ivs ]
+                  | `Avg ->
+                      let aop, av = Arith.addi ctx ov lv in
+                      [ lop; oop; aop; astore ctx av out ~exprs:(dims 3) ivs ])
+            in
+            let scale_ops =
+              match kind with
+              | `Max -> []
+              | `Avg ->
+                  let sop, sv = iconst ctx (kernel * kernel) in
+                  let oop, ov = aload ctx out ~exprs:(dims 3) out_ivs in
+                  let mop, mv = Arith.divi ctx ov sv in
+                  [ sop; oop; mop; astore ctx mv out ~exprs:(dims 3) out_ivs ]
+            in
+            init_ops @ inner @ scale_ops)
+      in
+      List.iter (emit env) ops
+  | _ -> error "pool lowering: unexpected shapes"
+
+let lower_flatten env (o : Ir.op) ?dst () =
+  let ctx = env.ctx in
+  let input = buffer_of env (List.nth o.Ir.operands 0) in
+  let out = result_buffer env ?dst (Ir.result o) in
+  match (Ty.as_memref input.Ir.vty).Ty.shape with
+  | [ c; h; w ] ->
+      let d = A.Expr.dim in
+      let flat =
+        A.Expr.add
+          (A.Expr.add (A.Expr.mul (d 0) (A.Expr.const (h * w))) (A.Expr.mul (d 1) (A.Expr.const w)))
+          (d 2)
+      in
+      let ops =
+        nest env [ c; h; w ] (fun ivs ->
+            let lop, lv = aload ctx input ~exprs:(dims 3) ivs in
+            [ lop; astore ctx lv out ~exprs:[ flat ] ivs ])
+      in
+      List.iter (emit env) ops
+  | [ _ ] | [] ->
+      (* already flat: plain copy *)
+      lower_elementwise env o ?dst `Copy
+  | _ -> error "flatten lowering: unexpected shape"
+
+let lower_weight env (o : Ir.op) =
+  let shape, elt = Ty.as_tensor (Ir.result o).Ir.vty in
+  let alloc_op, m = Memref.alloc env.ctx shape elt in
+  let alloc_op =
+    Ir.set_attr
+      (Ir.set_attr alloc_op "weight" (Attr.Str (Ir.str_attr o "name")))
+      "init_seed"
+      (Attr.Int (Hashtbl.hash (Ir.str_attr o "name") land 0xffff))
+  in
+  emit env alloc_op;
+  Hashtbl.replace env.buffers (Ir.result o).Ir.vid m
+
+(* ---- Function lowering ------------------------------------------------------- *)
+
+let lower_func ctx m (f : Ir.op) : Ir.op =
+  let body = Func.func_body f in
+  let args = Func.func_args f in
+  let _, outputs = Ir.func_type f in
+  (* New argument list: tensors -> memrefs, then one out-memref per returned
+     tensor. *)
+  let env = { ctx; buffers = Hashtbl.create 32; acc = [] } in
+  let new_args =
+    List.map
+      (fun (v : Ir.value) ->
+        match v.Ir.vty with
+        | Ty.Tensor { shape; _ } ->
+            let m = Ir.Ctx.fresh ctx (Ty.memref (buffer_shape shape) Ty.I8) in
+            Hashtbl.replace env.buffers v.Ir.vid m;
+            m
+        | _ -> v)
+      args
+  in
+  let out_args =
+    List.map
+      (fun t ->
+        match t with
+        | Ty.Tensor { shape; _ } -> Ir.Ctx.fresh ctx (Ty.memref (buffer_shape shape) Ty.I8)
+        | t -> Ir.Ctx.fresh ctx t)
+      outputs
+  in
+  (* Which tensor values are returned? Their producing ops write directly
+     into the matching out arg. *)
+  let returned =
+    List.concat_map
+      (fun (o : Ir.op) -> if Func.is_return o then o.Ir.operands else [])
+      body
+  in
+  let dst_of (r : Ir.value) =
+    let rec find i = function
+      | [] -> None
+      | (v : Ir.value) :: rest ->
+          if v.Ir.vid = r.Ir.vid then List.nth_opt out_args i else find (i + 1) rest
+    in
+    find 0 returned
+  in
+  List.iter
+    (fun (o : Ir.op) ->
+      let dst = match o.Ir.results with [ r ] -> dst_of r | _ -> None in
+      match o.Ir.name with
+      | "graph.weight" -> lower_weight env o
+      | "graph.conv2d" -> lower_conv2d env o ?dst ~depthwise:false ()
+      | "graph.dwconv2d" -> lower_conv2d env o ?dst ~depthwise:true ()
+      | "graph.dense" -> lower_dense env o ?dst ()
+      | "graph.relu" -> lower_elementwise env o ?dst `Relu
+      | "graph.copy" -> lower_elementwise env o ?dst `Copy
+      | "graph.add" -> lower_elementwise env o ?dst `Add
+      | "graph.maxpool" -> lower_pool env o ?dst `Max
+      | "graph.avgpool" -> lower_pool env o ?dst `Avg
+      | "graph.flatten" -> lower_flatten env o ?dst ()
+      | "func.return" -> emit env (Func.return_ [])
+      | "func.call" ->
+          (* calls between graph funcs: rewrite to buffer calling convention *)
+          let callee = Func.callee o in
+          let in_bufs = List.map (buffer_of env) o.Ir.operands in
+          let out_bufs =
+            List.map
+              (fun (r : Ir.value) ->
+                match dst_of r with
+                | Some d ->
+                    Hashtbl.replace env.buffers r.Ir.vid d;
+                    d
+                | None -> result_buffer env r)
+              o.Ir.results
+          in
+          emit env
+            (Ir.mk "func.call"
+               ~attrs:[ ("callee", Attr.Str callee) ]
+               ~operands:(in_bufs @ out_bufs)
+               ~results:[])
+      | name -> error "lower_graph: cannot lower %s" name)
+    body;
+  ignore m;
+  let new_body = List.rev env.acc in
+  let new_body =
+    match List.rev new_body with
+    | last :: _ when Func.is_return last -> new_body
+    | _ -> new_body @ [ Func.return_ [] ]
+  in
+  let lowered =
+    Func.func_raw ~name:(Ir.func_name f) ~args:(new_args @ out_args) ~outputs:[]
+      new_body
+  in
+  (* Preserve the dataflow directive. *)
+  match Hlscpp.get_func_directive f with
+  | Some d -> Hlscpp.set_func_directive lowered d
+  | None -> lowered
+
+(** Lower every graph-level function of the module. *)
+let run ctx (m : Ir.op) : Ir.op =
+  Ir.module_map_funcs (fun f ->
+      if Walk.exists Graph.is_graph_op f || List.exists (fun (v : Ir.value) -> Ty.is_tensor v.Ir.vty) (Func.func_args f)
+      then lower_func ctx m f
+      else f)
+    m
+
+let pass = Pass.make "lower-graph" run

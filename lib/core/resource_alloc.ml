@@ -1,0 +1,71 @@
+(** Memory resource allocation (the array [resource] directive, §4.3.4):
+    weight arrays are kept on-chip while the cumulative footprint stays under
+    a budget fraction of the platform's memory bits; the largest remaining
+    arrays are spilled to DRAM (served through an AXI interface, one
+    outstanding access per cycle). Large on-chip arrays beyond the BRAM
+    sweet spot are placed in URAM when the platform has it. *)
+
+open Mir
+open Vhls
+
+(** Assign memory spaces to weight allocations of the module. *)
+let place_weights ?(budget_fraction = 0.55) ~platform ctx m =
+  ignore ctx;
+  (* Collect weight allocs with their sizes. *)
+  let weights =
+    Walk.fold_ops
+      (fun acc o ->
+        if o.Ir.name = "memref.alloc" && Ir.has_attr o "weight" then
+          (Ir.result o, Ty.storage_bits (Ir.result o).Ir.vty) :: acc
+        else acc)
+      [] m
+  in
+  let weights = List.sort (fun (_, a) (_, b) -> compare b a) weights in
+  let budget =
+    int_of_float (budget_fraction *. float_of_int platform.Platform.memory_bits)
+  in
+  let spill = Hashtbl.create 8 and uram = Hashtbl.create 8 in
+  let used = ref 0 in
+  (* Greedy: biggest first; spill to DRAM once over budget. Arrays larger
+     than 1 Mb that still fit go to URAM when available. *)
+  List.iter
+    (fun ((v : Ir.value), bits) ->
+      if !used + bits <= budget then begin
+        used := !used + bits;
+        if platform.Platform.uram > 0 && bits > 1024 * 1024 then
+          Hashtbl.replace uram v.Ir.vid ()
+      end
+      else Hashtbl.replace spill v.Ir.vid ())
+    weights;
+  Array_partition.retype_module m (fun vid ->
+      let respace space =
+        Walk.fold_ops
+          (fun acc o ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+                List.find_map
+                  (fun (r : Ir.value) ->
+                    if r.Ir.vid = vid then
+                      match r.Ir.vty with
+                      | Ty.Memref mr -> Some (Ty.Memref { mr with Ty.memspace = space })
+                      | _ -> None
+                    else None)
+                  o.Ir.results)
+          None m
+      in
+      if Hashtbl.mem spill vid then respace Ty.Memspace.dram
+      else if Hashtbl.mem uram vid then respace Ty.Memspace.uram
+      else None)
+
+(** Total on-chip/off-chip weight bits after placement (for reporting). *)
+let weight_footprint m =
+  Walk.fold_ops
+    (fun (on, off) o ->
+      if o.Ir.name = "memref.alloc" && Ir.has_attr o "weight" then begin
+        let bits = Ty.storage_bits (Ir.result o).Ir.vty in
+        let mr = Ty.as_memref (Ir.result o).Ir.vty in
+        if mr.Ty.memspace = Ty.Memspace.dram then (on, off + bits) else (on + bits, off)
+      end
+      else (on, off))
+    (0, 0) m

@@ -1,0 +1,66 @@
+(** The [-simplify-memref-access] pass (§5.4): folds identical memory reads
+    (same memref, same access map and operands) within a block when no
+    intervening operation may write the memref — reducing memory port
+    pressure before scheduling. *)
+
+open Mir
+open Dialects
+
+let run_on_func _ctx f =
+  let subst = ref Ir.Value_map.empty in
+  let may_write vid o =
+    Walk.exists
+      (fun x ->
+        Func.is_call x
+        || (Memref.is_store x && (Memref.accessed_memref x).Ir.vid = vid))
+      o
+  in
+  let rec rewrite_block (b : Ir.block) =
+    let seen : (int * string * int list, Ir.value) Hashtbl.t = Hashtbl.create 16 in
+    let bops =
+      List.filter_map
+        (fun o ->
+          let o = rewrite_regions o in
+          if o.Ir.name = "affine.load" then begin
+            let k =
+              ( (Memref.accessed_memref o).Ir.vid,
+                Attr.to_string (Ir.attr_exn o "map"),
+                List.map (fun (v : Ir.value) -> v.Ir.vid) (Memref.access_indices o) )
+            in
+            match Hashtbl.find_opt seen k with
+            | Some v ->
+                subst := Ir.Value_map.add (Ir.result o).Ir.vid v !subst;
+                None
+            | None ->
+                Hashtbl.replace seen k (Ir.result o);
+                Some o
+          end
+          else begin
+            (* Writes (direct or nested) invalidate the loads of that memref. *)
+            let vids =
+              Hashtbl.fold (fun (m, _, _) _ acc -> m :: acc) seen []
+              |> List.sort_uniq compare
+            in
+            List.iter
+              (fun vid ->
+                if may_write vid o then begin
+                  let keys =
+                    Hashtbl.fold
+                      (fun ((m, _, _) as k) _ acc -> if m = vid then k :: acc else acc)
+                      seen []
+                  in
+                  List.iter (Hashtbl.remove seen) keys
+                end)
+              vids;
+            Some o
+          end)
+        b.Ir.bops
+    in
+    { b with Ir.bops = bops }
+  and rewrite_regions (o : Ir.op) =
+    { o with Ir.regions = List.map (List.map rewrite_block) o.Ir.regions }
+  in
+  let f = rewrite_regions f in
+  if Ir.Value_map.is_empty !subst then f else Walk.substitute_uses !subst f
+
+let pass = Pass.on_funcs "simplify-memref-access" run_on_func

@@ -1,0 +1,36 @@
+(** The [scf] (structured control flow) dialect: loops and conditionals whose
+    bounds/conditions are arbitrary SSA values (§2.2). *)
+
+open Mir
+open Ir
+
+(** [for_ ctx ~lb ~ub ~step body_fn]: body_fn receives the induction
+    variable. *)
+let for_ ctx ~lb ~ub ~step body_fn =
+  let iv = Ctx.fresh ctx Ty.Index in
+  let body = body_fn iv in
+  mk "scf.for" ~operands:[ lb; ub; step ] ~results:[]
+    ~regions:[ [ block ~args:[ iv ] body ] ]
+
+let for_raw ~lb ~ub ~step ~iv body =
+  mk "scf.for" ~operands:[ lb; ub; step ] ~results:[]
+    ~regions:[ [ block ~args:[ iv ] body ] ]
+
+let if_ ~cond ~then_ ~else_ =
+  mk "scf.if" ~operands:[ cond ] ~results:[]
+    ~regions:[ [ block then_ ]; [ block else_ ] ]
+
+let yield = mk "scf.yield" ~operands:[] ~results:[]
+
+let is_for o = o.name = "scf.for"
+let is_if o = o.name = "scf.if"
+
+let for_bounds o =
+  match o.operands with
+  | [ lb; ub; step ] -> (lb, ub, step)
+  | _ -> invalid_arg "Scf.for_bounds"
+
+let induction_var o =
+  match (body_block o).bargs with
+  | [ iv ] -> iv
+  | _ -> invalid_arg "Scf.induction_var"

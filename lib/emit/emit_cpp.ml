@@ -1,0 +1,340 @@
+(** The HLS C/C++ emission back-end (§6.2): translates the structured
+    directive-level IR into synthesizable C++ for downstream RTL generation.
+    [affine/scf.for] and [if] become [for]/[if] statements; array partition,
+    resource, and interface information is decoded from memref types and
+    emitted as [#pragma HLS] directives; function/loop directives
+    ([dataflow], [pipeline II=n], [loop_flatten]) come from the hlscpp
+    attributes. Returned scalars are converted to output pointers to keep
+    the generated code synthesizable. *)
+
+open Mir
+open Dialects
+
+module A = Affine
+
+exception Emit_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Emit_error s)) fmt
+
+type env = {
+  buf : Buffer.t;
+  mutable indent : int;
+  names : (int, string) Hashtbl.t;  (** value id -> C identifier *)
+}
+
+let create () = { buf = Buffer.create 4096; indent = 0; names = Hashtbl.create 64 }
+
+let line env fmt =
+  Buffer.add_string env.buf (String.make (2 * env.indent) ' ');
+  Fmt.kstr
+    (fun s ->
+      Buffer.add_string env.buf s;
+      Buffer.add_char env.buf '\n')
+    fmt
+
+let name env (v : Ir.value) =
+  match Hashtbl.find_opt env.names v.Ir.vid with
+  | Some n -> n
+  | None ->
+      let n = Printf.sprintf "v%d" v.Ir.vid in
+      Hashtbl.replace env.names v.Ir.vid n;
+      n
+
+let set_name env (v : Ir.value) n = Hashtbl.replace env.names v.Ir.vid n
+
+let rec c_scalar_ty = function
+  | Ty.F32 -> "float"
+  | Ty.F64 -> "double"
+  | Ty.I1 -> "bool"
+  | Ty.I8 -> "char"
+  | Ty.I32 | Ty.Index -> "int"
+  | Ty.I64 -> "long long"
+  | Ty.Memref { elt; _ } | Ty.Tensor { elt; _ } -> c_scalar_ty elt
+  | t -> error "type %s has no C equivalent" (Ty.to_string t)
+
+let array_decl ty n =
+  match ty with
+  | Ty.Memref { shape; elt; _ } ->
+      Printf.sprintf "%s %s%s" (c_scalar_ty elt) n
+        (String.concat "" (List.map (Printf.sprintf "[%d]") shape))
+  | _ -> error "array_decl: not a memref"
+
+(* Render an affine expression with dims bound to C expressions. *)
+let rec render_expr dims (e : A.Expr.t) =
+  match e with
+  | A.Expr.Dim i ->
+      if i < Array.length dims then dims.(i) else error "render_expr: dim %d out of range" i
+  | A.Expr.Sym _ -> error "render_expr: symbols not supported in emission"
+  | A.Expr.Const c -> string_of_int c
+  | A.Expr.Add (a, A.Expr.Mul (b, A.Expr.Const -1)) ->
+      Printf.sprintf "(%s - %s)" (render_expr dims a) (render_expr dims b)
+  | A.Expr.Add (a, A.Expr.Const c) when c < 0 ->
+      Printf.sprintf "(%s - %d)" (render_expr dims a) (-c)
+  | A.Expr.Add (a, b) -> Printf.sprintf "(%s + %s)" (render_expr dims a) (render_expr dims b)
+  | A.Expr.Mul (a, b) -> Printf.sprintf "(%s * %s)" (render_expr dims a) (render_expr dims b)
+  | A.Expr.Mod (a, b) -> Printf.sprintf "(%s %% %s)" (render_expr dims a) (render_expr dims b)
+  | A.Expr.Floor_div (a, b) -> Printf.sprintf "(%s / %s)" (render_expr dims a) (render_expr dims b)
+  | A.Expr.Ceil_div (a, b) ->
+      Printf.sprintf "((%s + %s - 1) / %s)" (render_expr dims a) (render_expr dims b)
+        (render_expr dims b)
+
+let render_map_results env map operands =
+  let dims = Array.of_list (List.map (name env) operands) in
+  List.map (fun e -> render_expr dims (A.Expr.simplify e)) (A.Map.results map)
+
+let render_access env (o : Ir.op) =
+  let mem = Memref.accessed_memref o in
+  let idxs =
+    match o.Ir.name with
+    | "affine.load" | "affine.store" ->
+        render_map_results env (Affine_d.access_map o) (Memref.access_indices o)
+    | _ -> List.map (name env) (Memref.access_indices o)
+  in
+  Printf.sprintf "%s%s" (name env mem)
+    (String.concat "" (List.map (Printf.sprintf "[%s]") idxs))
+
+(* Partition pragmas of a memref-typed value. *)
+let emit_partition_pragmas env (v : Ir.value) =
+  match v.Ir.vty with
+  | Ty.Memref mr ->
+      List.iteri
+        (fun d p ->
+          match p with
+          | Hlscpp.None_p -> ()
+          | Hlscpp.Cyclic f ->
+              line env "#pragma HLS array_partition variable=%s cyclic factor=%d dim=%d"
+                (name env v) f (d + 1)
+          | Hlscpp.Block f ->
+              line env "#pragma HLS array_partition variable=%s block factor=%d dim=%d"
+                (name env v) f (d + 1))
+        (Hlscpp.partitions_of_memref mr);
+      (match mr.Ty.memspace with
+      | m when m = Ty.Memspace.uram ->
+          line env "#pragma HLS resource variable=%s core=RAM_2P_URAM" (name env v)
+      | m when m = Ty.Memspace.bram_s1p ->
+          line env "#pragma HLS resource variable=%s core=RAM_1P_BRAM" (name env v)
+      | m when m = Ty.Memspace.bram_t2p ->
+          line env "#pragma HLS resource variable=%s core=RAM_T2P_BRAM" (name env v)
+      | _ -> ())
+  | _ -> ()
+
+let binop_sym = function
+  | "arith.addf" | "arith.addi" -> "+"
+  | "arith.subf" | "arith.subi" -> "-"
+  | "arith.mulf" | "arith.muli" -> "*"
+  | "arith.divf" | "arith.divi" -> "/"
+  | "arith.remi" -> "%"
+  | "arith.andi" -> "&"
+  | "arith.ori" -> "|"
+  | "arith.xori" -> "^"
+  | "arith.shli" -> "<<"
+  | "arith.shri" -> ">>"
+  | n -> error "binop_sym: %s" n
+
+let cmp_sym = function
+  | "eq" | "oeq" | "ueq" -> "=="
+  | "ne" | "one" | "une" -> "!="
+  | "slt" | "ult" | "olt" -> "<"
+  | "sle" | "ule" | "ole" -> "<="
+  | "sgt" | "ugt" | "ogt" -> ">"
+  | "sge" | "uge" | "oge" -> ">="
+  | p -> error "cmp_sym: %s" p
+
+let math_fn = function
+  | "math.exp" -> "expf"
+  | "math.log" -> "logf"
+  | "math.sqrt" -> "sqrtf"
+  | "math.tanh" -> "tanhf"
+  | n -> error "math_fn: %s" n
+
+let result_ty (o : Ir.op) = (Ir.result o).Ir.vty
+
+let rec emit_op env (o : Ir.op) =
+  let n2 i = name env (List.nth o.Ir.operands i) in
+  let def rhs =
+    line env "%s %s = %s;" (c_scalar_ty (result_ty o)) (name env (Ir.result o)) rhs
+  in
+  match o.Ir.name with
+  | "arith.constant" -> (
+      match Ir.attr_exn o "value" with
+      | Attr.Int i -> def (string_of_int i)
+      | Attr.Float f -> def (Printf.sprintf "%h" f)
+      | _ -> error "constant: bad value")
+  | "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" | "arith.addi"
+  | "arith.subi" | "arith.muli" | "arith.divi" | "arith.remi" | "arith.andi"
+  | "arith.ori" | "arith.xori" | "arith.shli" | "arith.shri" ->
+      def (Printf.sprintf "%s %s %s" (n2 0) (binop_sym o.Ir.name) (n2 1))
+  | "arith.negf" -> def (Printf.sprintf "-%s" (n2 0))
+  | "arith.maxf" | "arith.maxi" -> def (Printf.sprintf "(%s > %s ? %s : %s)" (n2 0) (n2 1) (n2 0) (n2 1))
+  | "arith.minf" | "arith.mini" -> def (Printf.sprintf "(%s < %s ? %s : %s)" (n2 0) (n2 1) (n2 0) (n2 1))
+  | "arith.cmpi" | "arith.cmpf" ->
+      def (Printf.sprintf "%s %s %s" (n2 0) (cmp_sym (Ir.str_attr o "predicate")) (n2 1))
+  | "arith.select" -> def (Printf.sprintf "%s ? %s : %s" (n2 0) (n2 1) (n2 2))
+  | "arith.index_cast" | "arith.extf" | "arith.truncf" | "arith.sitofp" | "arith.fptosi" ->
+      def (Printf.sprintf "(%s)%s" (c_scalar_ty (result_ty o)) (n2 0))
+  | "math.exp" | "math.log" | "math.sqrt" | "math.tanh" ->
+      def (Printf.sprintf "%s(%s)" (math_fn o.Ir.name) (n2 0))
+  | "affine.apply" -> (
+      match render_map_results env (Affine_d.access_map o) o.Ir.operands with
+      | [ r ] -> def r
+      | _ -> error "affine.apply: single result expected")
+  | "memref.alloc" | "memref.alloca" ->
+      line env "%s;" (array_decl (Ir.result o).Ir.vty (name env (Ir.result o)));
+      emit_partition_pragmas env (Ir.result o)
+  | "memref.dealloc" -> ()
+  | "affine.load" | "memref.load" -> def (render_access env o)
+  | "affine.store" | "memref.store" ->
+      line env "%s = %s;" (render_access env o) (name env (Memref.stored_value o))
+  | "affine.for" -> emit_affine_for env o
+  | "scf.for" ->
+      let lb, ub, step = Scf.for_bounds o in
+      let iv = Scf.induction_var o in
+      line env "for (int %s = %s; %s < %s; %s += %s) {" (name env iv) (name env lb)
+        (name env iv) (name env ub) (name env iv) (name env step);
+      emit_loop_body env o
+  | "affine.if" -> emit_affine_if env o
+  | "scf.if" ->
+      line env "if (%s) {" (n2 0);
+      env.indent <- env.indent + 1;
+      List.iter (emit_op env) (block_ops (Ir.region o 0));
+      env.indent <- env.indent - 1;
+      let else_ops = block_ops (Ir.region o 1) in
+      if else_ops <> [] then begin
+        line env "} else {";
+        env.indent <- env.indent + 1;
+        List.iter (emit_op env) else_ops;
+        env.indent <- env.indent - 1
+      end;
+      line env "}"
+  | "func.call" ->
+      let args = List.map (name env) o.Ir.operands in
+      (match o.Ir.results with
+      | [] -> line env "%s(%s);" (Func.callee o) (String.concat ", " args)
+      | [ r ] ->
+          (* returned scalar: callee was emitted with an output pointer *)
+          line env "%s %s;" (c_scalar_ty r.Ir.vty) (name env r);
+          line env "%s(%s, &%s);" (Func.callee o) (String.concat ", " args) (name env r)
+      | _ -> error "calls with multiple results are not emitted")
+  | "func.return" -> (
+      match o.Ir.operands with
+      | [] -> ()
+      | [ v ] -> line env "*out = %s;" (name env v)
+      | _ -> error "multi-value return")
+  | "affine.yield" | "scf.yield" -> ()
+  | name -> error "emission of operation %s is not supported" name
+
+and block_ops region =
+  List.concat_map
+    (fun (b : Ir.block) ->
+      List.filter (fun x -> x.Ir.name <> "affine.yield" && x.Ir.name <> "scf.yield") b.Ir.bops)
+    region
+
+and emit_loop_body env o =
+  env.indent <- env.indent + 1;
+  (match Hlscpp.get_loop_directive o with
+  | Some d ->
+      if d.Hlscpp.loop_pipeline then
+        line env "#pragma HLS pipeline II=%d" (max 1 d.Hlscpp.loop_target_ii);
+      if d.Hlscpp.flatten then line env "#pragma HLS loop_flatten";
+      if d.Hlscpp.loop_dataflow then line env "#pragma HLS dataflow"
+  | None -> ());
+  List.iter (emit_op env) (block_ops [ Ir.body_block o ]);
+  env.indent <- env.indent - 1;
+  line env "}"
+
+and emit_affine_for env o =
+  let b = Affine_d.bounds o in
+  let iv = Affine_d.induction_var o in
+  let lb_exprs = render_map_results env b.Affine_d.lb_map b.Affine_d.lb_operands in
+  let ub_exprs = render_map_results env b.Affine_d.ub_map b.Affine_d.ub_operands in
+  let fold_minmax fn = function
+    | [ e ] -> e
+    | es -> List.fold_left (fun acc e -> Printf.sprintf "%s(%s, %s)" fn acc e) (List.hd es) (List.tl es)
+  in
+  let lb = fold_minmax "max" lb_exprs and ub = fold_minmax "min" ub_exprs in
+  line env "for (int %s = %s; %s < %s; %s += %d) {" (name env iv) lb (name env iv) ub
+    (name env iv) b.Affine_d.step;
+  emit_loop_body env o
+
+and emit_affine_if env o =
+  let set = Affine_d.if_set o in
+  let dims = Array.of_list (List.map (name env) o.Ir.operands) in
+  let conds =
+    List.map
+      (fun (c : A.Set_.constraint_) ->
+        Printf.sprintf "%s %s 0"
+          (render_expr dims (A.Expr.simplify c.A.Set_.expr))
+          (if c.A.Set_.eq then "==" else ">="))
+      (A.Set_.constraints set)
+  in
+  let cond = match conds with [] -> "true" | _ -> String.concat " && " conds in
+  line env "if (%s) {" cond;
+  env.indent <- env.indent + 1;
+  List.iter (emit_op env) (block_ops (Ir.region o 0));
+  env.indent <- env.indent - 1;
+  let else_ops = block_ops (Ir.region o 1) in
+  if else_ops <> [] then begin
+    line env "} else {";
+    env.indent <- env.indent + 1;
+    List.iter (emit_op env) else_ops;
+    env.indent <- env.indent - 1
+  end;
+  line env "}"
+
+let emit_func env (f : Ir.op) =
+  let args = Func.func_args f in
+  let _, outputs = Ir.func_type f in
+  List.iteri
+    (fun i (v : Ir.value) ->
+      set_name env v
+        (match v.Ir.vty with
+        | Ty.Memref _ -> Printf.sprintf "arg%d" i
+        | _ -> Printf.sprintf "a%d" i))
+    args;
+  let params =
+    List.map
+      (fun (v : Ir.value) ->
+        match v.Ir.vty with
+        | Ty.Memref _ -> array_decl v.Ir.vty (name env v)
+        | t -> Printf.sprintf "%s %s" (c_scalar_ty t) (name env v))
+      args
+  in
+  (* Returned scalars become output pointers (§6.2). *)
+  let params =
+    params
+    @ List.map (fun t -> Printf.sprintf "%s *out" (c_scalar_ty t)) outputs
+  in
+  line env "void %s(%s) {" (Ir.func_name f) (String.concat ", " params);
+  env.indent <- env.indent + 1;
+  (match Hlscpp.get_func_directive f with
+  | Some d ->
+      if d.Hlscpp.dataflow then line env "#pragma HLS dataflow";
+      if d.Hlscpp.pipeline then
+        line env "#pragma HLS pipeline II=%d" (max 1 d.Hlscpp.target_ii)
+  | None -> ());
+  (* Interface + partition pragmas for array arguments. *)
+  List.iter
+    (fun (v : Ir.value) ->
+      match v.Ir.vty with
+      | Ty.Memref mr ->
+          (match Hlscpp.interface_of_memref mr with
+          | Hlscpp.Axi ->
+              line env "#pragma HLS interface m_axi port=%s offset=slave" (name env v)
+          | Hlscpp.Bram_if -> ());
+          emit_partition_pragmas env v
+      | _ -> ())
+    args;
+  List.iter (emit_op env) (Func.func_body f);
+  env.indent <- env.indent - 1;
+  line env "}";
+  line env ""
+
+(** Emit a whole module as synthesizable HLS C++. *)
+let emit_module (m : Ir.op) =
+  let env = create () in
+  line env "#include <math.h>";
+  line env "#define max(a, b) ((a) > (b) ? (a) : (b))";
+  line env "#define min(a, b) ((a) < (b) ? (a) : (b))";
+  line env "";
+  List.iter (emit_func env) (Ir.module_funcs m);
+  Buffer.contents env.buf

@@ -1,0 +1,54 @@
+(** Abstract syntax of the HLS-C subset accepted by the front-end: fixed-size
+    arrays, scalar ints and floats, structured control flow. Pointers to
+    scalars are treated as 1-element arrays (§6.1). *)
+
+type cty = Cint | Cfloat | Cdouble | Carr of cty * int list
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr list
+  | Bin of string * expr * expr  (** + - * / % == != < <= > >= && || *)
+  | Neg of expr
+  | Not of expr
+  | Call of string * expr list  (** expf / logf / sqrtf / tanhf *)
+  | Cond of expr * expr * expr  (** ternary [c ? a : b] *)
+
+type lhs = Lvar of string | Lindex of string * expr list
+
+type stmt =
+  | Decl of cty * string * expr option
+  | Assign of lhs * string * expr  (** the string is "=", "+=", "-=", "*=", "/=" *)
+  | For of for_loop
+  | If of expr * stmt list * stmt list
+  | Block of stmt list
+  | Return of expr option
+  | Expr_stmt of expr
+
+and for_loop = {
+  var : string;  (** induction variable declared in the init clause *)
+  init : expr;
+  cmp : string;  (** "<" or "<=" *)
+  bound : expr;
+  step : int;  (** from [i++] or [i += c] *)
+  body : stmt list;
+}
+
+type param = { pname : string; pty : cty }
+
+type fndef = {
+  fname : string;
+  ret : cty option;  (** [None] for void *)
+  params : param list;
+  fbody : stmt list;
+}
+
+type program = fndef list
+
+let rec pp_cty fmt = function
+  | Cint -> Fmt.string fmt "int"
+  | Cfloat -> Fmt.string fmt "float"
+  | Cdouble -> Fmt.string fmt "double"
+  | Carr (t, dims) ->
+      Fmt.pf fmt "%a%a" pp_cty t Fmt.(list ~sep:nop (fmt "[%d]")) dims

@@ -1,0 +1,117 @@
+(** Hand-written lexer for the synthesizable HLS-C subset (§6.1). Skips
+    preprocessor lines (#include / #define / #pragma) and comments. *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Kw of string  (** void int float double if else for return const static *)
+  | Punct of string
+      (** ( ) [ ] { } ; , and operators: + - * / % = += -= *= /= == != < <= >
+          >= && || ! ++ -- *)
+  | Eof
+
+type t = { tokens : token array; mutable pos : int; src_lines : string array }
+
+exception Lex_error of string
+
+let keywords =
+  [ "void"; "int"; "float"; "double"; "if"; "else"; "for"; "while"; "return"; "const"; "static"; "unsigned" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then incr i
+    else if c = '#' then begin
+      (* preprocessor line: skip to end of line *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      while !i + 1 < n && not (src.[!i] = '*' && src.[!i + 1] = '/') do
+        incr i
+      done;
+      i := !i + 2
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let s = String.sub src start (!i - start) in
+      push (if List.mem s keywords then Kw s else Ident s)
+    end
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      let start = !i in
+      while
+        !i < n
+        && (is_digit src.[!i] || src.[!i] = '.' || src.[!i] = 'e' || src.[!i] = 'E'
+           || ((src.[!i] = '+' || src.[!i] = '-')
+              && !i > start
+              && (src.[!i - 1] = 'e' || src.[!i - 1] = 'E')))
+      do
+        incr i
+      done;
+      (* trailing f/F/l/L suffix *)
+      let s = String.sub src start (!i - start) in
+      if !i < n && (src.[!i] = 'f' || src.[!i] = 'F' || src.[!i] = 'l' || src.[!i] = 'L')
+      then incr i;
+      if String.contains s '.' || String.contains s 'e' || String.contains s 'E' then
+        push (Float_lit (float_of_string s))
+      else push (Int_lit (int_of_string s))
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some (("==" | "!=" | "<=" | ">=" | "&&" | "||" | "+=" | "-=" | "*=" | "/=" | "++" | "--") as p) ->
+          push (Punct p);
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '(' | ')' | '[' | ']' | '{' | '}' | ';' | ',' | '+' | '-' | '*' | '/'
+          | '%' | '=' | '<' | '>' | '!' | '&' | '|' | '?' | ':' ->
+              push (Punct (String.make 1 c));
+              incr i
+          | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C at offset %d" c !i)))
+    end
+  done;
+  push Eof;
+  {
+    tokens = Array.of_list (List.rev !toks);
+    pos = 0;
+    src_lines = Array.of_list (String.split_on_char '\n' src);
+  }
+
+let peek lx = lx.tokens.(lx.pos)
+let peek2 lx = if lx.pos + 1 < Array.length lx.tokens then lx.tokens.(lx.pos + 1) else Eof
+let advance lx = lx.pos <- lx.pos + 1
+
+let next lx =
+  let t = peek lx in
+  advance lx;
+  t
+
+let token_to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int_lit i -> Printf.sprintf "integer %d" i
+  | Float_lit f -> Printf.sprintf "float %g" f
+  | Kw s -> Printf.sprintf "keyword %S" s
+  | Punct s -> Printf.sprintf "%S" s
+  | Eof -> "end of input"

@@ -1,0 +1,333 @@
+(** Recursive-descent parser for the HLS-C subset. Produces {!Cast.program}.
+    Rejects constructs outside the synthesizable subset with a descriptive
+    {!Parse_error} (mirroring the paper's front-end, which rejects e.g.
+    pointer-to-pointer inputs). *)
+
+open Cast
+
+exception Parse_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+let expect lx tok =
+  let t = Lexer.next lx in
+  if t <> tok then
+    error "expected %s but found %s" (Lexer.token_to_string tok) (Lexer.token_to_string t)
+
+let expect_punct lx s = expect lx (Lexer.Punct s)
+
+let expect_ident lx =
+  match Lexer.next lx with
+  | Lexer.Ident s -> s
+  | t -> error "expected identifier but found %s" (Lexer.token_to_string t)
+
+let base_type_of_kw = function
+  | "int" | "unsigned" -> Some Cint
+  | "float" -> Some Cfloat
+  | "double" -> Some Cdouble
+  | _ -> None
+
+(* ---- Expressions (precedence climbing) ---------------------------------- *)
+
+let binop_precedence = function
+  | "||" -> 1
+  | "&&" -> 2
+  | "==" | "!=" -> 3
+  | "<" | "<=" | ">" | ">=" -> 4
+  | "+" | "-" -> 5
+  | "*" | "/" | "%" -> 6
+  | _ -> 0
+
+let rec parse_expr lx = parse_ternary lx
+
+and parse_ternary lx =
+  let c = parse_binary lx 1 in
+  match Lexer.peek lx with
+  | Lexer.Punct "?" ->
+      Lexer.advance lx;
+      let a = parse_expr lx in
+      expect_punct lx ":";
+      let b = parse_expr lx in
+      Cond (c, a, b)
+  | _ -> c
+
+and parse_binary lx min_prec =
+  let lhs = ref (parse_unary lx) in
+  let continue_ = ref true in
+  while !continue_ do
+    match Lexer.peek lx with
+    | Lexer.Punct p when binop_precedence p >= min_prec && binop_precedence p > 0 ->
+        Lexer.advance lx;
+        let rhs = parse_binary lx (binop_precedence p + 1) in
+        lhs := Bin (p, !lhs, rhs)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary lx =
+  match Lexer.peek lx with
+  | Lexer.Punct "-" ->
+      Lexer.advance lx;
+      Neg (parse_unary lx)
+  | Lexer.Punct "!" ->
+      Lexer.advance lx;
+      Not (parse_unary lx)
+  | Lexer.Punct "+" ->
+      Lexer.advance lx;
+      parse_unary lx
+  | _ -> parse_postfix lx
+
+and parse_postfix lx =
+  match Lexer.next lx with
+  | Lexer.Int_lit i -> Int_lit i
+  | Lexer.Float_lit f -> Float_lit f
+  | Lexer.Punct "(" ->
+      (* parenthesized expr or C-style cast like (float)x — treat casts as
+         transparent. *)
+      (match (Lexer.peek lx, Lexer.peek2 lx) with
+      | Lexer.Kw k, Lexer.Punct ")" when Option.is_some (base_type_of_kw k) ->
+          Lexer.advance lx;
+          Lexer.advance lx;
+          parse_unary lx
+      | _ ->
+          let e = parse_expr lx in
+          expect_punct lx ")";
+          e)
+  | Lexer.Ident name -> (
+      match Lexer.peek lx with
+      | Lexer.Punct "(" ->
+          Lexer.advance lx;
+          let args = ref [] in
+          if Lexer.peek lx <> Lexer.Punct ")" then begin
+            args := [ parse_expr lx ];
+            while Lexer.peek lx = Lexer.Punct "," do
+              Lexer.advance lx;
+              args := parse_expr lx :: !args
+            done
+          end;
+          expect_punct lx ")";
+          Call (name, List.rev !args)
+      | Lexer.Punct "[" ->
+          let idxs = ref [] in
+          while Lexer.peek lx = Lexer.Punct "[" do
+            Lexer.advance lx;
+            idxs := parse_expr lx :: !idxs;
+            expect_punct lx "]"
+          done;
+          Index (name, List.rev !idxs)
+      | _ -> Var name)
+  | t -> error "unexpected token %s in expression" (Lexer.token_to_string t)
+
+(* ---- Statements ---------------------------------------------------------- *)
+
+let const_int_expr = function
+  | Int_lit i -> i
+  | Neg (Int_lit i) -> -i
+  | _ -> error "expected integer constant"
+
+let rec parse_stmt lx : stmt =
+  match Lexer.peek lx with
+  | Lexer.Punct "{" ->
+      Lexer.advance lx;
+      let stmts = parse_stmts_until lx "}" in
+      Block stmts
+  | Lexer.Kw "for" -> For (parse_for lx)
+  | Lexer.Kw "if" -> parse_if lx
+  | Lexer.Kw "while" -> error "while loops are outside the synthesizable subset accepted here"
+  | Lexer.Kw "return" ->
+      Lexer.advance lx;
+      if Lexer.peek lx = Lexer.Punct ";" then begin
+        Lexer.advance lx;
+        Return None
+      end
+      else begin
+        let e = parse_expr lx in
+        expect_punct lx ";";
+        Return (Some e)
+      end
+  | Lexer.Kw ("const" | "static") ->
+      Lexer.advance lx;
+      parse_stmt lx
+  | Lexer.Kw k when Option.is_some (base_type_of_kw k) -> parse_decl lx
+  | _ -> parse_assign_or_expr lx
+
+and parse_stmts_until lx closer =
+  let stmts = ref [] in
+  while Lexer.peek lx <> Lexer.Punct closer do
+    if Lexer.peek lx = Lexer.Eof then error "unexpected end of input (missing %s)" closer;
+    stmts := parse_stmt lx :: !stmts
+  done;
+  Lexer.advance lx;
+  List.rev !stmts
+
+and parse_decl lx =
+  let base =
+    match Lexer.next lx with
+    | Lexer.Kw k -> Option.get (base_type_of_kw k)
+    | t -> error "expected type but found %s" (Lexer.token_to_string t)
+  in
+  let name = expect_ident lx in
+  let dims = ref [] in
+  while Lexer.peek lx = Lexer.Punct "[" do
+    Lexer.advance lx;
+    (match Lexer.next lx with
+    | Lexer.Int_lit i -> dims := i :: !dims
+    | t -> error "array dimensions must be integer constants, found %s" (Lexer.token_to_string t));
+    expect_punct lx "]"
+  done;
+  let ty = if !dims = [] then base else Carr (base, List.rev !dims) in
+  let init =
+    if Lexer.peek lx = Lexer.Punct "=" then begin
+      Lexer.advance lx;
+      Some (parse_expr lx)
+    end
+    else None
+  in
+  expect_punct lx ";";
+  Decl (ty, name, init)
+
+and parse_if lx =
+  expect lx (Lexer.Kw "if");
+  expect_punct lx "(";
+  let cond = parse_expr lx in
+  expect_punct lx ")";
+  let then_ = stmt_as_list (parse_stmt lx) in
+  let else_ =
+    if Lexer.peek lx = Lexer.Kw "else" then begin
+      Lexer.advance lx;
+      stmt_as_list (parse_stmt lx)
+    end
+    else []
+  in
+  If (cond, then_, else_)
+
+and stmt_as_list = function Block ss -> ss | s -> [ s ]
+
+and parse_for lx =
+  expect lx (Lexer.Kw "for");
+  expect_punct lx "(";
+  (* init: [int i = e;] or [i = e;] *)
+  (match Lexer.peek lx with
+  | Lexer.Kw k when Option.is_some (base_type_of_kw k) -> Lexer.advance lx
+  | _ -> ());
+  let var = expect_ident lx in
+  expect_punct lx "=";
+  let init = parse_expr lx in
+  expect_punct lx ";";
+  (* condition: var < bound | var <= bound *)
+  let cvar = expect_ident lx in
+  if cvar <> var then error "for condition must test the induction variable %s" var;
+  let cmp =
+    match Lexer.next lx with
+    | Lexer.Punct (("<" | "<=") as p) -> p
+    | t -> error "for condition must be < or <=, found %s" (Lexer.token_to_string t)
+  in
+  let bound = parse_expr lx in
+  expect_punct lx ";";
+  (* increment: i++ | ++i | i += c | i = i + c *)
+  let step =
+    match Lexer.next lx with
+    | Lexer.Ident v when v = var -> (
+        match Lexer.next lx with
+        | Lexer.Punct "++" -> 1
+        | Lexer.Punct "+=" -> const_int_expr (parse_expr lx)
+        | Lexer.Punct "=" -> (
+            match parse_expr lx with
+            | Bin ("+", Var v', e) when v' = var -> const_int_expr e
+            | Bin ("+", e, Var v') when v' = var -> const_int_expr e
+            | _ -> error "unsupported for-loop increment")
+        | t -> error "unsupported for-loop increment: %s" (Lexer.token_to_string t))
+    | Lexer.Punct "++" ->
+        let v = expect_ident lx in
+        if v <> var then error "for increment must update %s" var;
+        1
+    | t -> error "unsupported for-loop increment: %s" (Lexer.token_to_string t)
+  in
+  if step <= 0 then error "for-loop step must be positive";
+  expect_punct lx ")";
+  let body = stmt_as_list (parse_stmt lx) in
+  { var; init; cmp; bound; step; body }
+
+and parse_assign_or_expr lx =
+  let e = parse_expr lx in
+  match (e, Lexer.peek lx) with
+  | _, Lexer.Punct (("=" | "+=" | "-=" | "*=" | "/=") as op) ->
+      Lexer.advance lx;
+      let lhs =
+        match e with
+        | Var v -> Lvar v
+        | Index (v, idxs) -> Lindex (v, idxs)
+        | _ -> error "invalid assignment target"
+      in
+      let rhs = parse_expr lx in
+      expect_punct lx ";";
+      Assign (lhs, op, rhs)
+  | _, _ ->
+      expect_punct lx ";";
+      Expr_stmt e
+
+(* ---- Top level ------------------------------------------------------------ *)
+
+let parse_param lx : param =
+  (match Lexer.peek lx with
+  | Lexer.Kw "const" -> Lexer.advance lx
+  | _ -> ());
+  let base =
+    match Lexer.next lx with
+    | Lexer.Kw k when Option.is_some (base_type_of_kw k) -> Option.get (base_type_of_kw k)
+    | t -> error "expected parameter type, found %s" (Lexer.token_to_string t)
+  in
+  (* pointer-to-scalar parameters become 1-element arrays (§6.1); reject
+     pointer-to-pointer. *)
+  let stars = ref 0 in
+  while Lexer.peek lx = Lexer.Punct "*" do
+    Lexer.advance lx;
+    incr stars
+  done;
+  if !stars > 1 then error "pointer-to-pointer parameters are rejected by the front-end";
+  let pname = expect_ident lx in
+  let dims = ref [] in
+  while Lexer.peek lx = Lexer.Punct "[" do
+    Lexer.advance lx;
+    (match Lexer.next lx with
+    | Lexer.Int_lit i -> dims := i :: !dims
+    | t -> error "array dimensions must be constants, found %s" (Lexer.token_to_string t));
+    expect_punct lx "]"
+  done;
+  let pty =
+    if !stars = 1 then Carr (base, [ 1 ])
+    else if !dims = [] then base
+    else Carr (base, List.rev !dims)
+  in
+  { pname; pty }
+
+let parse_fndef lx : fndef =
+  let ret =
+    match Lexer.next lx with
+    | Lexer.Kw "void" -> None
+    | Lexer.Kw k when Option.is_some (base_type_of_kw k) -> base_type_of_kw k
+    | t -> error "expected return type, found %s" (Lexer.token_to_string t)
+  in
+  let fname = expect_ident lx in
+  expect_punct lx "(";
+  let params = ref [] in
+  if Lexer.peek lx <> Lexer.Punct ")" then begin
+    params := [ parse_param lx ];
+    while Lexer.peek lx = Lexer.Punct "," do
+      Lexer.advance lx;
+      params := parse_param lx :: !params
+    done
+  end;
+  expect_punct lx ")";
+  expect_punct lx "{";
+  let fbody = parse_stmts_until lx "}" in
+  { fname; ret; params = List.rev !params; fbody }
+
+(** Parse a full translation unit (a list of function definitions). *)
+let parse_program src : program =
+  let lx = Lexer.tokenize src in
+  let fns = ref [] in
+  while Lexer.peek lx <> Lexer.Eof do
+    fns := parse_fndef lx :: !fns
+  done;
+  List.rev !fns

@@ -1,0 +1,187 @@
+(** The [-raise-scf-to-affine] pass (§6.1): walks each function outside-in,
+    tracking which SSA index values are affine expressions of the enclosing
+    affine induction variables, and raises:
+    - [scf.for] with affine bounds and constant step to [affine.for];
+    - [memref.load]/[memref.store] with affine indices to
+      [affine.load]/[affine.store];
+    - [scf.if] over integer comparisons of affine values to [affine.if].
+
+    Unlike all-or-nothing approaches, raising is per-statement: a non-affine
+    statement leaves only itself (and loops whose bounds depend on it) at the
+    scf/memref level. *)
+
+open Mir
+open Dialects
+
+module A = Affine
+
+type env = {
+  ctx : Ir.Ctx.t;
+  exprs : (int, A.Expr.t) Hashtbl.t;  (** value id -> expr over current dims *)
+}
+
+let expr_of env (v : Ir.value) = Hashtbl.find_opt env.exprs v.Ir.vid
+
+let record env (v : Ir.value) e = Hashtbl.replace env.exprs v.Ir.vid (A.Expr.simplify e)
+
+(* The affine map over the full dim list for a list of result exprs. *)
+let map_over_dims dims results =
+  A.Map.make ~num_dims:(List.length dims) ~num_syms:0 results
+
+(* cmpi definitions (value id -> predicate and operands), scanned before
+   conversion so that scf.if conditions can be raised to integer sets. *)
+let cmp_defs : (int, string * Ir.value * Ir.value) Hashtbl.t = Hashtbl.create 64
+
+let rec convert_ops env (dims : Ir.value list) (ops : Ir.op list) : Ir.op list =
+  List.concat_map (convert_op env dims) ops
+
+and convert_op env dims (o : Ir.op) : Ir.op list =
+  match o.Ir.name with
+  | "arith.constant" -> (
+      match Arith.constant_int_value o with
+      | Some c when Ty.equal (Ir.result o).Ir.vty Ty.Index ->
+          record env (Ir.result o) (A.Expr.const c);
+          [ o ]
+      | _ -> [ o ])
+  | "arith.addi" | "arith.subi" | "arith.muli" | "arith.divi" | "arith.remi" -> (
+      match List.map (expr_of env) o.Ir.operands with
+      | [ Some a; Some b ] ->
+          let e =
+            match o.Ir.name with
+            | "arith.addi" -> Some (A.Expr.add a b)
+            | "arith.subi" -> Some (A.Expr.sub a b)
+            | "arith.muli" ->
+                let sa = A.Expr.simplify a and sb = A.Expr.simplify b in
+                if A.Expr.is_const sa || A.Expr.is_const sb then
+                  Some (A.Expr.mul a b)
+                else None
+            | "arith.divi" -> (
+                match A.Expr.as_const (A.Expr.simplify b) with
+                | Some k when k > 0 -> Some (A.Expr.fdiv a b)
+                | _ -> None)
+            | _ -> (
+                match A.Expr.as_const (A.Expr.simplify b) with
+                | Some k when k > 0 -> Some (A.Expr.mod_ a b)
+                | _ -> None)
+          in
+          Option.iter (record env (Ir.result o)) e;
+          [ o ]
+      | _ -> [ o ])
+  | "scf.for" -> convert_for env dims o
+  | "scf.if" -> convert_if env dims o
+  | "memref.load" -> (
+      let idxs = Memref.access_indices o in
+      match all_exprs env idxs with
+      | Some index_exprs ->
+          let map = map_over_dims dims index_exprs in
+          let mem = Memref.accessed_memref o in
+          [
+            Ir.mk "affine.load"
+              ~attrs:[ ("map", Attr.Map map) ]
+              ~operands:(mem :: dims) ~results:o.Ir.results;
+          ]
+      | None -> [ o ])
+  | "memref.store" -> (
+      let idxs = Memref.access_indices o in
+      match all_exprs env idxs with
+      | Some index_exprs ->
+          let map = map_over_dims dims index_exprs in
+          let mem = Memref.accessed_memref o in
+          let value = Memref.stored_value o in
+          [
+            Ir.mk "affine.store"
+              ~attrs:[ ("map", Attr.Map map) ]
+              ~operands:(value :: mem :: dims)
+              ~results:[];
+          ]
+      | None -> [ o ])
+  | "scf.yield" -> [ Affine_d.yield ]
+  | _ ->
+      (* Generic: recurse into any nested regions without extending dims. *)
+      [ Walk.expand_in_op (fun op -> [ op ]) { o with Ir.regions = List.map (List.map (fun b -> { b with Ir.bops = convert_ops env dims b.Ir.bops })) o.Ir.regions } ]
+
+and all_exprs env vs =
+  let es = List.map (expr_of env) vs in
+  if List.for_all Option.is_some es then Some (List.map Option.get es) else None
+
+and convert_for env dims o =
+  let lb, ub, step = Scf.for_bounds o in
+  let step_const =
+    match expr_of env step with
+    | Some e -> A.Expr.as_const (A.Expr.simplify e)
+    | None -> None
+  in
+  match (expr_of env lb, expr_of env ub, step_const) with
+  | Some lb_e, Some ub_e, Some step_c
+    when step_c > 0 && A.Expr.is_pure_affine lb_e && A.Expr.is_pure_affine ub_e ->
+      let iv = Scf.induction_var o in
+      record env iv (A.Expr.dim (List.length dims));
+      let body = convert_ops env (dims @ [ iv ]) (Ir.body_ops o) in
+      [
+        Affine_d.for_op
+          ~lb_map:(map_over_dims dims [ lb_e ])
+          ~lb_operands:dims
+          ~ub_map:(map_over_dims dims [ ub_e ])
+          ~ub_operands:dims ~step:step_c ~iv body;
+      ]
+  | _ ->
+      (* Bounds are not affine: keep scf.for; the body may still raise
+         statements that only involve enclosing affine dims. *)
+      let body = convert_ops env dims (Ir.body_ops o) in
+      [ Ir.with_body o body ]
+
+and convert_if env dims o =
+  let cond = List.hd o.Ir.operands in
+  let then_ops () = convert_ops env dims (List.concat_map (fun b -> b.Ir.bops) (Ir.region o 0)) in
+  let else_ops () = convert_ops env dims (List.concat_map (fun b -> b.Ir.bops) (Ir.region o 1)) in
+  let keep_scf () =
+    [
+      Ir.mk o.Ir.name ~attrs:o.Ir.attrs ~operands:o.Ir.operands ~results:o.Ir.results
+        ~regions:[ [ Ir.block (then_ops ()) ]; [ Ir.block (else_ops ()) ] ];
+    ]
+  in
+  (* We raise only when the condition value is produced by an integer
+     comparison of two affine expressions (located via the cmp scan). *)
+  match Hashtbl.find_opt cmp_defs cond.Ir.vid with
+  | Some (pred, a, b) -> (
+      match (expr_of env a, expr_of env b) with
+      | Some ea, Some eb -> (
+          let c =
+            match pred with
+            | "slt" -> Some (A.Set_.ge_zero (A.Expr.sub (A.Expr.sub eb ea) (A.Expr.const 1)))
+            | "sle" -> Some (A.Set_.ge_zero (A.Expr.sub eb ea))
+            | "sgt" -> Some (A.Set_.ge_zero (A.Expr.sub (A.Expr.sub ea eb) (A.Expr.const 1)))
+            | "sge" -> Some (A.Set_.ge_zero (A.Expr.sub ea eb))
+            | "eq" -> Some (A.Set_.eq_zero (A.Expr.sub ea eb))
+            | _ -> None
+          in
+          match c with
+          | Some c ->
+              let set = A.Set_.make ~num_dims:(List.length dims) ~num_syms:0 [ c ] in
+              [
+                Affine_d.if_ ~set ~operands:dims
+                  ~then_:(then_ops () @ [ Affine_d.yield ])
+                  ~else_:(else_ops () @ [ Affine_d.yield ]);
+              ]
+          | None -> keep_scf ())
+      | _ -> keep_scf ())
+  | None -> keep_scf ()
+
+(* Record cmpi definitions before conversion so convert_if can find them. *)
+let scan_cmps f =
+  Walk.iter_op
+    (fun o ->
+      if o.Ir.name = "arith.cmpi" then
+        match o.Ir.operands with
+        | [ a; b ] -> Hashtbl.replace cmp_defs (Ir.result o).Ir.vid (Ir.str_attr o "predicate", a, b)
+        | _ -> ())
+    f
+
+let raise_func ctx f =
+  Hashtbl.reset cmp_defs;
+  scan_cmps f;
+  let env = { ctx; exprs = Hashtbl.create 128 } in
+  Ir.with_body f (convert_ops env [] (Func.func_body f))
+
+(** The [-raise-scf-to-affine] pass. *)
+let pass = Pass.on_funcs "raise-scf-to-affine" raise_func

@@ -1,0 +1,45 @@
+(** Passes and a pass manager with per-pass timing (the paper collects compile
+    runtimes via MLIR's [-pass-timing]; {!run_timed} provides the same
+    statistic). A pass rewrites a whole module op. *)
+
+type t = { pass_name : string; run : Ir.Ctx.t -> Ir.op -> Ir.op }
+
+let make pass_name run = { pass_name; run }
+
+(** Lift a per-function rewrite into a module pass. *)
+let on_funcs pass_name f =
+  make pass_name (fun ctx m -> Ir.module_map_funcs (f ctx) m)
+
+type timing = { label : string; seconds : float }
+
+let run_one ?(verify = false) pass ctx m =
+  let m' = pass.run ctx m in
+  if verify then Verify.verify_exn m';
+  m'
+
+(** Run a pipeline of passes in order. *)
+let run_pipeline ?(verify = false) passes ctx m =
+  List.fold_left (fun m p -> run_one ~verify p ctx m) m passes
+
+(** Run a pipeline collecting wall-clock timing per pass. *)
+let run_timed ?(verify = false) passes ctx m =
+  let timings = ref [] in
+  let m =
+    List.fold_left
+      (fun m p ->
+        let t0 = Unix.gettimeofday () in
+        let m' = run_one ~verify p ctx m in
+        let t1 = Unix.gettimeofday () in
+        timings := { label = p.pass_name; seconds = t1 -. t0 } :: !timings;
+        m')
+      m passes
+  in
+  (m, List.rev !timings)
+
+let pp_timing fmt t = Fmt.pf fmt "%-32s %8.4fs" t.label t.seconds
+
+let pp_timings fmt ts =
+  let total = List.fold_left (fun acc t -> acc +. t.seconds) 0. ts in
+  Fmt.pf fmt "===- Pass execution timing report -===@\n";
+  List.iter (fun t -> Fmt.pf fmt "%a@\n" pp_timing t) ts;
+  Fmt.pf fmt "%-32s %8.4fs" "Total" total

@@ -1,0 +1,46 @@
+(** MLIR-flavoured textual printing of the IR, for examples, tests, and
+    debugging. Values print as [%N]. *)
+
+open Ir
+
+let pp_value fmt v = Fmt.pf fmt "%%%d" v.vid
+
+let pp_value_typed fmt v = Fmt.pf fmt "%%%d : %a" v.vid Ty.pp v.vty
+
+let rec pp_op ?(indent = 0) fmt (o : op) =
+  let pad = String.make indent ' ' in
+  Fmt.pf fmt "%s" pad;
+  (match o.results with
+  | [] -> ()
+  | rs -> Fmt.pf fmt "%a = " Fmt.(list ~sep:comma pp_value) rs);
+  Fmt.pf fmt "\"%s\"(%a)" o.name Fmt.(list ~sep:comma pp_value) o.operands;
+  if o.attrs <> [] then begin
+    let pp_kv fmt (k, v) = Fmt.pf fmt "%s = %a" k Attr.pp v in
+    Fmt.pf fmt " {%a}" Fmt.(list ~sep:comma pp_kv) o.attrs
+  end;
+  (match o.results with
+  | [] -> ()
+  | rs -> Fmt.pf fmt " : %a" Fmt.(list ~sep:comma Ty.pp) (List.map (fun v -> v.vty) rs));
+  List.iter
+    (fun r ->
+      Fmt.pf fmt " {@\n";
+      List.iteri
+        (fun i b ->
+          if i > 0 || b.bargs <> [] then
+            Fmt.pf fmt "%s^bb%d(%a):@\n" (String.make (indent + 1) ' ') i
+              Fmt.(list ~sep:comma pp_value_typed)
+              b.bargs;
+          List.iter (fun op -> Fmt.pf fmt "%a@\n" (pp_op ~indent:(indent + 2)) op) b.bops)
+        r;
+      Fmt.pf fmt "%s}" pad)
+    o.regions
+
+let op_to_string o =
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.pp_set_margin fmt 1_000_000;
+  pp_op ~indent:0 fmt o;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let print o = print_endline (op_to_string o)

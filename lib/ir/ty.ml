@@ -1,0 +1,141 @@
+(** The IR type system: scalars, [index], tensors (graph level), memrefs
+    (loop/directive level, carrying an optional affine layout map encoding
+    array partitioning plus a memory space encoding the resource directive),
+    and function types. *)
+
+type t =
+  | Index
+  | I1
+  | I8
+  | I32
+  | I64
+  | F32
+  | F64
+  | Tensor of { shape : int list; elt : t }
+  | Memref of memref
+  | Fn of { inputs : t list; outputs : t list }
+  | None_ty
+
+and memref = {
+  shape : int list;
+  elt : t;
+  layout : Affine.Map.t option;
+      (** Array-partition encoding (§4.3.3): for an N-d memref the map has N
+          inputs and 2N results; the first N results are partition indices and
+          the last N physical indices. [None] means identity (no partition). *)
+  memspace : int;
+      (** Resource directive (§4.3.4): see {!Memspace}. *)
+}
+
+(** Memory spaces used by the resource directive. *)
+module Memspace = struct
+  let default = 0 (* tool's choice; on-chip *)
+  let bram_s1p = 1 (* single-port BRAM *)
+  let bram_s2p = 2 (* simple dual-port BRAM *)
+  let bram_t2p = 3 (* true dual-port BRAM *)
+  let uram = 4
+  let dram = 5
+
+  let to_string = function
+    | 0 -> "default"
+    | 1 -> "bram_s1p"
+    | 2 -> "bram_s2p"
+    | 3 -> "bram_t2p"
+    | 4 -> "uram"
+    | 5 -> "dram"
+    | n -> Printf.sprintf "memspace%d" n
+
+  (** Number of simultaneous read/write ports the memory kind offers per
+      physical bank. Simple dual-port: one read + one write. *)
+  let ports = function
+    | 1 -> 1
+    | 2 -> 2
+    | 3 -> 2
+    | 4 -> 2
+    | 5 -> 1 (* DRAM: serialized through one AXI port *)
+    | _ -> 2 (* default maps to simple dual-port *)
+end
+
+let memref ?(layout = None) ?(memspace = Memspace.default) shape elt =
+  Memref { shape; elt; layout; memspace }
+
+let tensor shape elt = Tensor { shape; elt }
+let fn inputs outputs = Fn { inputs; outputs }
+
+let is_float = function F32 | F64 -> true | _ -> false
+let is_int = function I1 | I8 | I32 | I64 | Index -> true | _ -> false
+
+let is_memref = function Memref _ -> true | _ -> false
+let is_tensor = function Tensor _ -> true | _ -> false
+
+let as_memref = function
+  | Memref m -> m
+  | _ -> invalid_arg "Ty.as_memref: not a memref"
+
+let as_tensor = function
+  | Tensor { shape; elt } -> (shape, elt)
+  | _ -> invalid_arg "Ty.as_tensor: not a tensor"
+
+(** Bit width of a scalar type. *)
+let bits = function
+  | I1 -> 1
+  | I8 -> 8
+  | I32 | F32 -> 32
+  | I64 | F64 -> 64
+  | Index -> 64
+  | Tensor _ | Memref _ | Fn _ | None_ty ->
+      invalid_arg "Ty.bits: not a scalar type"
+
+let num_elements shape = List.fold_left ( * ) 1 shape
+
+(** Total storage bits for a memref or tensor. *)
+let storage_bits = function
+  | Memref { shape; elt; _ } | Tensor { shape; elt } ->
+      num_elements shape * bits elt
+  | _ -> invalid_arg "Ty.storage_bits: not an aggregate type"
+
+let rec equal a b =
+  match (a, b) with
+  | Index, Index | I1, I1 | I8, I8 | I32, I32 | I64, I64 | F32, F32 | F64, F64
+  | None_ty, None_ty -> true
+  | Tensor a, Tensor b -> a.shape = b.shape && equal a.elt b.elt
+  | Memref a, Memref b ->
+      a.shape = b.shape && equal a.elt b.elt && a.memspace = b.memspace
+      && Option.equal Affine.Map.equal a.layout b.layout
+  | Fn a, Fn b ->
+      List.length a.inputs = List.length b.inputs
+      && List.length a.outputs = List.length b.outputs
+      && List.for_all2 equal a.inputs b.inputs
+      && List.for_all2 equal a.outputs b.outputs
+  | ( ( Index | I1 | I8 | I32 | I64 | F32 | F64 | Tensor _ | Memref _ | Fn _
+      | None_ty ),
+      _ ) -> false
+
+let rec pp fmt = function
+  | Index -> Fmt.string fmt "index"
+  | I1 -> Fmt.string fmt "i1"
+  | I8 -> Fmt.string fmt "i8"
+  | I32 -> Fmt.string fmt "i32"
+  | I64 -> Fmt.string fmt "i64"
+  | F32 -> Fmt.string fmt "f32"
+  | F64 -> Fmt.string fmt "f64"
+  | None_ty -> Fmt.string fmt "none"
+  | Tensor { shape; elt } ->
+      Fmt.pf fmt "tensor<%a%a>"
+        Fmt.(list ~sep:nop (fmt "%dx"))
+        shape pp elt
+  | Memref { shape; elt; layout; memspace } ->
+      Fmt.pf fmt "memref<%a%a"
+        Fmt.(list ~sep:nop (fmt "%dx"))
+        shape pp elt;
+      Option.iter (fun m -> Fmt.pf fmt ", %a" Affine.Map.pp m) layout;
+      if memspace <> 0 then Fmt.pf fmt ", %s" (Memspace.to_string memspace);
+      Fmt.string fmt ">"
+  | Fn { inputs; outputs } ->
+      Fmt.pf fmt "(%a) -> (%a)"
+        Fmt.(list ~sep:comma pp)
+        inputs
+        Fmt.(list ~sep:comma pp)
+        outputs
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,85 @@
+(** Structural and SSA verification of the IR. Checks:
+    - every value has a single definition (op result or block argument);
+    - every operand use is dominated by its definition (defined earlier in the
+      same block, as a block arg in scope, or in an enclosing scope);
+    - known structured ops have the expected region shapes. *)
+
+open Ir
+
+type error = { op_name : string; message : string }
+
+let err op_name fmt = Fmt.kstr (fun message -> { op_name; message }) fmt
+
+let pp_error fmt e = Fmt.pf fmt "[%s] %s" e.op_name e.message
+
+(* Region-shape expectations for structured ops. *)
+let expected_regions = function
+  | "module" | "func" | "affine.for" | "scf.for" | "scf.while" | "graph.stage" -> Some 1
+  | "affine.if" | "scf.if" -> Some 2
+  | "arith.constant" | "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf"
+  | "arith.addi" | "arith.subi" | "arith.muli" | "arith.divi" | "arith.remi"
+  | "arith.cmpi" | "arith.cmpf" | "arith.select" | "arith.index_cast"
+  | "arith.sitofp" | "arith.fptosi" | "arith.extf" | "arith.truncf"
+  | "arith.negf" | "arith.maxf" | "arith.minf" | "arith.maxi" | "arith.mini"
+  | "arith.andi" | "arith.ori" | "arith.xori" | "arith.shli" | "arith.shri"
+  | "memref.load" | "memref.store" | "memref.alloc" | "memref.dealloc" | "memref.copy"
+  | "affine.load" | "affine.store" | "affine.apply" | "affine.yield"
+  | "scf.yield" | "func.return" | "func.call" | "math.exp" | "math.log"
+  | "math.sqrt" | "math.tanh" -> Some 0
+  | _ -> None
+
+let verify_op (top : op) : error list =
+  let errors = ref [] in
+  let add e = errors := e :: !errors in
+  let defined : Value_set.t ref = ref Value_set.empty in
+  let define where v =
+    if Value_set.mem v.vid !defined then
+      add (err where "value %%%d defined more than once" v.vid)
+    else defined := Value_set.add v.vid !defined
+  in
+  (* [scope]: values visible at the current point. *)
+  let rec go_op (scope : Value_set.t) (o : op) : Value_set.t =
+    List.iter
+      (fun v ->
+        if not (Value_set.mem v.vid scope) then
+          add (err o.name "use of undefined or out-of-scope value %%%d" v.vid))
+      o.operands;
+    (match expected_regions o.name with
+    | Some n when List.length o.regions <> n ->
+        add (err o.name "expected %d regions, found %d" n (List.length o.regions))
+    | Some _ | None -> ());
+    List.iter
+      (fun r ->
+        List.iter
+          (fun b ->
+            List.iter (define o.name) b.bargs;
+            let inner =
+              List.fold_left (fun s v -> Value_set.add v.vid s) scope b.bargs
+            in
+            let (_ : Value_set.t) = go_block inner b in
+            ())
+          r)
+      o.regions;
+    List.iter (define o.name) o.results;
+    List.fold_left (fun s v -> Value_set.add v.vid s) scope o.results
+  and go_block scope b =
+    List.fold_left go_op scope b.bops
+  in
+  let (_ : Value_set.t) = go_op Value_set.empty top in
+  List.rev !errors
+
+let verify top =
+  match verify_op top with
+  | [] -> Ok ()
+  | errors -> Error errors
+
+(** Raise [Invalid_argument] with a readable report on verification failure.
+    Handy in tests and at pass-pipeline boundaries. *)
+let verify_exn top =
+  match verify top with
+  | Ok () -> ()
+  | Error errors ->
+      invalid_arg
+        (Fmt.str "IR verification failed:@\n%a"
+           Fmt.(list ~sep:(any "@\n") pp_error)
+           errors)

@@ -1,0 +1,88 @@
+(** Generic IR traversals: iteration, folding, and post/pre-order rewriting
+    over the operation tree. *)
+
+open Ir
+
+(** Pre-order iteration over an op and everything nested in it. *)
+let rec iter_op f (o : op) =
+  f o;
+  List.iter (List.iter (fun b -> List.iter (iter_op f) b.bops)) o.regions
+
+let fold_ops f acc o =
+  let acc = ref acc in
+  iter_op (fun o -> acc := f !acc o) o;
+  !acc
+
+(** Collect all ops satisfying [p], pre-order. *)
+let collect p o = List.rev (fold_ops (fun acc o -> if p o then o :: acc else acc) [] o)
+
+let count p o = fold_ops (fun n o -> if p o then n + 1 else n) 0 o
+
+let exists p o =
+  let module M = struct exception Found end in
+  try
+    iter_op (fun o -> if p o then raise M.Found) o;
+    false
+  with M.Found -> true
+
+(** Post-order rewrite: children are rewritten first, then [f] is applied to
+    the rebuilt op. [f] returns the replacement op. *)
+let rec map_op f (o : op) =
+  let regions =
+    List.map (List.map (fun b -> { b with bops = List.map (map_op f) b.bops })) o.regions
+  in
+  f { o with regions }
+
+(** Post-order rewrite at the op-list level: [f] maps each rebuilt op to a
+    list of replacement ops (possibly empty to erase, or several to expand). *)
+let rec expand_ops f (ops : op list) =
+  List.concat_map
+    (fun o ->
+      let regions =
+        List.map (List.map (fun b -> { b with bops = expand_ops f b.bops })) o.regions
+      in
+      f { o with regions })
+    ops
+
+(** Apply [expand_ops] inside every block of an op (not to the op itself). *)
+let expand_in_op f (o : op) =
+  let regions =
+    List.map (List.map (fun b -> { b with bops = expand_ops f b.bops })) o.regions
+  in
+  { o with regions }
+
+(** Substitute operand values throughout the tree according to [subst] (a map
+    from value id to value). Result values and block args are untouched. *)
+let substitute_uses subst o =
+  let sub v = match Value_map.find_opt v.vid subst with Some v' -> v' | None -> v in
+  map_op (fun o -> { o with operands = List.map sub o.operands }) o
+
+let substitute_uses_in_ops subst ops =
+  let sub v = match Value_map.find_opt v.vid subst with Some v' -> v' | None -> v in
+  expand_ops (fun o -> [ { o with operands = List.map sub o.operands } ]) ops
+
+(** All values used as operands anywhere inside [o]. *)
+let used_values o =
+  fold_ops (fun acc o -> List.fold_left (fun s v -> Value_set.add v.vid s) acc o.operands)
+    Value_set.empty o
+
+(** All values defined (results + block args) anywhere inside [o], including
+    [o]'s own results. *)
+let defined_values o =
+  fold_ops
+    (fun acc o ->
+      let acc = List.fold_left (fun s v -> Value_set.add v.vid s) acc o.results in
+      List.fold_left
+        (fun acc r ->
+          List.fold_left
+            (fun acc b -> List.fold_left (fun s v -> Value_set.add v.vid s) acc b.bargs)
+            acc r)
+        acc o.regions)
+    Value_set.empty o
+
+(** Values used inside [o] but not defined inside it (its free values, i.e.
+    captures from enclosing scopes). Operands of [o] itself are included. *)
+let free_values o =
+  let defined = defined_values o in
+  let used = used_values o in
+  Value_set.diff used defined

@@ -1,0 +1,129 @@
+(** Block-level dependency-graph construction and ASAP/ALAP scheduling shared
+    by the virtual synthesizer. Nodes are the ops of one block (composite ops
+    — loops, ifs, calls — appear as single nodes whose delay is their
+    recursively computed latency); edges are SSA def–use plus conservative
+    memory ordering (same-memref accesses are ordered unless both are
+    reads). *)
+
+open Mir
+open Dialects
+
+type node = {
+  idx : int;
+  op : Ir.op;
+  delay : int;
+  accesses : (int * bool) list;  (** (memref vid, is_store) inside the node *)
+}
+
+type graph = { nodes : node array; preds : (int * int) list array }
+(** [preds.(j)] = [(i, w)]: node j must start at least [w] cycles after node i
+    starts. *)
+
+let node_accesses (o : Ir.op) =
+  let acc = ref [] in
+  Walk.iter_op
+    (fun x ->
+      if Memref.is_access x then
+        acc := ((Memref.accessed_memref x).Ir.vid, Memref.is_store x) :: !acc)
+    o;
+  !acc
+
+(** Build the dependency graph of [ops], with composite delays supplied by
+    [delay_of]. *)
+let build ~delay_of (ops : Ir.op list) : graph =
+  let nodes =
+    Array.of_list
+      (List.mapi
+         (fun idx op -> { idx; op; delay = delay_of op; accesses = node_accesses op })
+         ops)
+  in
+  let n = Array.length nodes in
+  let preds = Array.make n [] in
+  (* def-use edges: producer of any free value used by node j. *)
+  let producer : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun nd ->
+      List.iter
+        (fun (r : Ir.value) -> Hashtbl.replace producer r.Ir.vid nd.idx)
+        nd.op.Ir.results)
+    nodes;
+  Array.iter
+    (fun nd ->
+      let frees = Walk.free_values nd.op in
+      Ir.Value_set.iter
+        (fun vid ->
+          match Hashtbl.find_opt producer vid with
+          | Some i when i <> nd.idx -> preds.(nd.idx) <- (i, nodes.(i).delay) :: preds.(nd.idx)
+          | _ -> ())
+        frees)
+    nodes;
+  (* memory ordering edges between nodes touching the same memref, at least
+     one writing. *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let conflict =
+        List.exists
+          (fun (mi, si) ->
+            List.exists (fun (mj, sj) -> mi = mj && (si || sj)) nodes.(j).accesses)
+          nodes.(i).accesses
+      in
+      if conflict then preds.(j) <- (i, nodes.(i).delay) :: preds.(j)
+    done
+  done;
+  { nodes; preds }
+
+(** ASAP start times (longest path from sources). *)
+let asap (g : graph) =
+  let n = Array.length g.nodes in
+  let t = Array.make n 0 in
+  for j = 0 to n - 1 do
+    List.iter (fun (i, w) -> t.(j) <- max t.(j) (t.(i) + w)) g.preds.(j)
+  done;
+  t
+
+(** Critical-path latency of the block (max finish time). *)
+let latency (g : graph) =
+  let t = asap g in
+  Array.fold_left max 0 (Array.mapi (fun i ti -> ti + g.nodes.(i).delay) t)
+
+(** ALAP start times for a given overall deadline (the paper's QoR estimator
+    schedules blocks as-late-as-possible, §5.5.1). *)
+let alap (g : graph) ~deadline =
+  let n = Array.length g.nodes in
+  let t = Array.make n deadline in
+  (* successors: invert preds *)
+  let succs = Array.make n [] in
+  Array.iteri
+    (fun j ps -> List.iter (fun (i, w) -> succs.(i) <- (j, w) :: succs.(i)) ps)
+    g.preds;
+  for i = n - 1 downto 0 do
+    t.(i) <- deadline - g.nodes.(i).delay;
+    List.iter (fun (j, w) -> t.(i) <- min t.(i) (t.(j) - w)) succs.(i)
+  done;
+  t
+
+(** Max number of simultaneously live instances per FU-op name, given start
+    times: how many units each op type needs. *)
+let fu_concurrency (g : graph) (t : int array) =
+  let events : (string, (int * int) list) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun i nd ->
+      if Fu.is_fu_op nd.op.Ir.name && nd.op.Ir.regions = [] then
+        let cur = Option.value ~default:[] (Hashtbl.find_opt events nd.op.Ir.name) in
+        Hashtbl.replace events nd.op.Ir.name ((t.(i), max 1 nd.delay) :: cur))
+    g.nodes;
+  Hashtbl.fold
+    (fun name intervals acc ->
+      (* max overlap via sweep *)
+      let pts =
+        List.concat_map (fun (s, d) -> [ (s, 1); (s + d, -1) ]) intervals
+        |> List.sort compare
+      in
+      let cur = ref 0 and best = ref 0 in
+      List.iter
+        (fun (_, delta) ->
+          cur := !cur + delta;
+          best := max !best !cur)
+        pts;
+      (name, !best) :: acc)
+    events []

@@ -1,0 +1,158 @@
+(* DSE engine tests: space construction, Pareto-frontier properties,
+   determinism, and actual quality improvement. *)
+
+open Scalehls
+open Helpers
+
+module P = Vhls.Platform
+
+(* ---- Pareto frontier properties ------------------------------------------------------ *)
+
+let mk_eval latency dsp feasible =
+  {
+    Dse.point = { Dse.lp = false; rvb = false; perm = []; tiles = []; target_ii = latency };
+    estimate =
+      {
+        Estimator.latency;
+        interval = latency;
+        usage = { P.usage_zero with P.u_dsp = dsp };
+      };
+    feasible;
+  }
+
+let test_pareto_basic () =
+  let pts = [ mk_eval 10 5 true; mk_eval 5 10 true; mk_eval 10 10 true; mk_eval 20 20 true ] in
+  let front = Dse.pareto_frontier pts in
+  Alcotest.(check int) "two survivors" 2 (List.length front);
+  Alcotest.(check (list int)) "latency sorted" [ 5; 10 ]
+    (List.map (fun p -> p.Dse.estimate.Estimator.latency) front)
+
+let test_pareto_drops_infeasible () =
+  let pts = [ mk_eval 1 1 false; mk_eval 10 10 true ] in
+  let front = Dse.pareto_frontier pts in
+  Alcotest.(check int) "infeasible dropped" 1 (List.length front);
+  Alcotest.(check int) "kept the feasible" 10
+    ((List.hd front).Dse.estimate.Estimator.latency)
+
+let arb_points =
+  QCheck.make
+    ~print:(fun l -> Fmt.str "%d points" (List.length l))
+    QCheck.Gen.(
+      list_size (int_range 1 30)
+        (map2 (fun l d -> mk_eval (1 + l) (1 + d) true) (int_range 0 50) (int_range 0 50)))
+
+let prop_pareto_no_dominated =
+  qtest ~count:200 "no frontier point dominates another" arb_points (fun pts ->
+      let front = Dse.pareto_frontier pts in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              a == b
+              || not
+                   (b.Dse.estimate.Estimator.latency <= a.Dse.estimate.Estimator.latency
+                   && Dse.area_of b.Dse.estimate <= Dse.area_of a.Dse.estimate))
+            front)
+        front)
+
+let prop_pareto_covers =
+  qtest ~count:200 "every point is dominated by or on the frontier" arb_points (fun pts ->
+      let front = Dse.pareto_frontier pts in
+      List.for_all
+        (fun p ->
+          List.exists
+            (fun f ->
+              f.Dse.estimate.Estimator.latency <= p.Dse.estimate.Estimator.latency
+              && Dse.area_of f.Dse.estimate <= Dse.area_of p.Dse.estimate)
+            front)
+        pts)
+
+(* ---- Space ----------------------------------------------------------------------------- *)
+
+let test_space_gemm () =
+  let ctx, m = compile_kernel ~n:16 Models.Polybench.Gemm in
+  let s = Dse.build_space ~max_unroll:64 ctx m ~top:"gemm" in
+  Alcotest.(check bool) "several legal perms" true (List.length s.Dse.perms > 1);
+  Alcotest.(check int) "three tile dims" 3 (List.length s.Dse.tile_options);
+  Alcotest.(check bool) "lp applicable" true (List.length s.Dse.lp_options = 2);
+  Alcotest.(check bool) "space is large" true (Dse.space_size s > 100)
+
+let test_space_rvb_only_for_triangular () =
+  let ctx, m = compile_kernel ~n:8 Models.Polybench.Gemm in
+  let s = Dse.build_space ctx m ~top:"gemm" in
+  Alcotest.(check (list bool)) "gemm: rvb not applicable" [ false ] s.Dse.rvb_options;
+  let ctx2, m2 = compile_kernel ~n:8 Models.Polybench.Syrk in
+  let s2 = Dse.build_space ctx2 m2 ~top:"syrk" in
+  Alcotest.(check int) "syrk: rvb is a dimension" 2 (List.length s2.Dse.rvb_options)
+
+let test_neighbors_are_close () =
+  let ctx, m = compile_kernel ~n:16 Models.Polybench.Gemm in
+  let s = Dse.build_space ctx m ~top:"gemm" in
+  let rng = Random.State.make [| 1 |] in
+  let pt = Dse.random_point rng s in
+  let ns = Dse.neighbors s pt in
+  Alcotest.(check bool) "has neighbors" true (ns <> []);
+  (* each neighbor differs from pt in a bounded way *)
+  List.iter
+    (fun n ->
+      let diffs =
+        (if n.Dse.lp <> pt.Dse.lp then 1 else 0)
+        + (if n.Dse.rvb <> pt.Dse.rvb then 1 else 0)
+        + (if n.Dse.perm <> pt.Dse.perm then 1 else 0)
+        + (if n.Dse.target_ii <> pt.Dse.target_ii then 1 else 0)
+        + List.fold_left2 (fun acc a b -> if a <> b then acc + 1 else acc) 0 n.Dse.tiles pt.Dse.tiles
+      in
+      Alcotest.(check int) "one dimension moved" 1 diffs)
+    ns
+
+(* ---- Engine ----------------------------------------------------------------------------- *)
+
+let test_dse_improves_baseline () =
+  let ctx, m = compile_kernel ~n:16 Models.Polybench.Gemm in
+  let r = Dse.run ~samples:12 ~iterations:20 ~seed:1 ctx m ~top:"gemm" ~platform:P.xc7z020 in
+  match r.Dse.best with
+  | Some best ->
+      let base = Estimator.estimate m ~top:"gemm" in
+      Alcotest.(check bool) "at least 5x better" true
+        (base.Estimator.latency > 5 * best.Dse.estimate.Estimator.latency);
+      Alcotest.(check bool) "feasible" true best.Dse.feasible
+  | None -> Alcotest.fail "no feasible point"
+
+let test_dse_deterministic () =
+  let run () =
+    let ctx, m = compile_kernel ~n:8 Models.Polybench.Gemm in
+    let r = Dse.run ~samples:10 ~iterations:10 ~seed:5 ctx m ~top:"gemm" ~platform:P.xc7z020 in
+    Option.map (fun b -> (b.Dse.point, b.Dse.estimate.Estimator.latency)) r.Dse.best
+  in
+  Alcotest.(check bool) "same seed, same result" true (run () = run ())
+
+let test_dse_result_is_valid_ir () =
+  let ctx, m = compile_kernel ~n:8 Models.Polybench.Syrk in
+  let r = Dse.run ~samples:10 ~iterations:15 ~seed:2 ctx m ~top:"syrk" ~platform:P.xc7z020 in
+  check_verifies ~msg:"dse module" r.Dse.module_;
+  check_semantics ~msg:"dse module semantics" Models.Polybench.Syrk ~n:8 m r.Dse.module_
+
+let test_dse_respects_resources () =
+  let ctx, m = compile_kernel ~n:16 Models.Polybench.Gemm in
+  let r = Dse.run ~samples:16 ~iterations:24 ~seed:3 ctx m ~top:"gemm" ~platform:P.xc7z020 in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "pareto point fits the platform" true
+        (P.fits P.xc7z020 p.Dse.estimate.Estimator.usage))
+    r.Dse.pareto
+
+let suite =
+  ( "dse",
+    [
+      Alcotest.test_case "pareto: basics" `Quick test_pareto_basic;
+      Alcotest.test_case "pareto: drops infeasible" `Quick test_pareto_drops_infeasible;
+      prop_pareto_no_dominated;
+      prop_pareto_covers;
+      Alcotest.test_case "space: gemm dimensions" `Quick test_space_gemm;
+      Alcotest.test_case "space: rvb only when variable bounds" `Quick test_space_rvb_only_for_triangular;
+      Alcotest.test_case "neighbors move one dimension" `Quick test_neighbors_are_close;
+      Alcotest.test_case "dse improves baseline" `Slow test_dse_improves_baseline;
+      Alcotest.test_case "dse is deterministic" `Slow test_dse_deterministic;
+      Alcotest.test_case "dse output is valid + equivalent" `Slow test_dse_result_is_valid_ir;
+      Alcotest.test_case "pareto points fit platform" `Slow test_dse_respects_resources;
+    ] )

@@ -1,0 +1,135 @@
+(* HLS C++ emitter tests: structure, pragmas, and robustness across the
+   whole kernel suite (optimized and unoptimized). *)
+
+open Mir
+open Dialects
+open Scalehls
+open Helpers
+
+let balanced_braces s =
+  let depth = ref 0 and ok = ref true in
+  String.iter
+    (fun c ->
+      if c = '{' then incr depth
+      else if c = '}' then begin
+        decr depth;
+        if !depth < 0 then ok := false
+      end)
+    s;
+  !ok && !depth = 0
+
+let test_emit_all_kernels_plain () =
+  List.iter
+    (fun k ->
+      let _, m = compile_kernel ~n:8 k in
+      let cpp = Emit.Emit_cpp.emit_module m in
+      Alcotest.(check bool) (Models.Polybench.name k ^ " balanced") true (balanced_braces cpp);
+      Alcotest.(check bool) "has function" true
+        (contains ~needle:("void " ^ Models.Polybench.name k) cpp))
+    Models.Polybench.all
+
+let optimized_gemm () =
+  let ctx, m = compile_kernel ~n:8 Models.Polybench.Gemm in
+  let pt = { Dse.lp = true; rvb = false; perm = [ 1; 2; 0 ]; tiles = [ 2; 1; 4 ]; target_ii = 2 } in
+  Dse.apply_point ctx m ~top:"gemm" pt
+
+let test_emit_pragmas () =
+  let cpp = Emit.Emit_cpp.emit_module (optimized_gemm ()) in
+  Alcotest.(check bool) "pipeline pragma" true (contains ~needle:"#pragma HLS pipeline II=2" cpp);
+  Alcotest.(check bool) "flatten pragma" true (contains ~needle:"#pragma HLS loop_flatten" cpp);
+  Alcotest.(check bool) "partition pragma" true (contains ~needle:"#pragma HLS array_partition" cpp);
+  Alcotest.(check bool) "balanced" true (balanced_braces cpp)
+
+let test_emit_loops_and_ifs () =
+  let src =
+    {|
+void g(float A[8]) {
+  for (int i = 0; i < 8; i++) {
+    if (i < 4) { A[i] = 0.0; } else { A[i] = 1.0; }
+  }
+}
+|}
+  in
+  let _, m = compile_c_affine src in
+  let cpp = Emit.Emit_cpp.emit_module m in
+  Alcotest.(check bool) "for statement" true (contains ~needle:"for (int" cpp);
+  Alcotest.(check bool) "if statement" true (contains ~needle:"if (" cpp);
+  Alcotest.(check bool) "else branch" true (contains ~needle:"} else {" cpp)
+
+let test_emit_returned_scalar_becomes_pointer () =
+  let src = "float first(float A[4]) { return A[0]; }" in
+  let _, m = compile_c_affine src in
+  let cpp = Emit.Emit_cpp.emit_module m in
+  Alcotest.(check bool) "out pointer parameter" true (contains ~needle:"float *out" cpp);
+  Alcotest.(check bool) "writes through it" true (contains ~needle:"*out =" cpp)
+
+let test_emit_dataflow_pragma () =
+  let ctx = Ir.Ctx.create () in
+  let f =
+    Func_pipeline.set_dataflow
+      (Func.func ctx ~name:"top" ~inputs:[] ~outputs:[] (fun _ -> [ Func.return_ [] ]))
+  in
+  let cpp = Emit.Emit_cpp.emit_module (Ir.module_ [ f ]) in
+  Alcotest.(check bool) "dataflow pragma" true (contains ~needle:"#pragma HLS dataflow" cpp)
+
+let test_emit_interface_pragma () =
+  let ctx = Ir.Ctx.create () in
+  let dram_ty = Ty.memref ~memspace:Ty.Memspace.dram [ 64 ] Ty.F32 in
+  let f = Func.func ctx ~name:"axi" ~inputs:[ dram_ty ] ~outputs:[] (fun _ -> [ Func.return_ [] ]) in
+  let cpp = Emit.Emit_cpp.emit_module (Ir.module_ [ f ]) in
+  Alcotest.(check bool) "axi interface" true (contains ~needle:"#pragma HLS interface m_axi" cpp)
+
+let test_emit_local_array_decl () =
+  let src = "void l(float A[4]) { float t[4]; for (int i = 0; i < 4; i++) { t[i] = A[i]; A[i] = t[i]; } }" in
+  let _, m = compile_c_affine src in
+  let cpp = Emit.Emit_cpp.emit_module m in
+  Alcotest.(check bool) "local array" true (contains ~needle:"[4];" cpp)
+
+let test_emit_deterministic () =
+  let emit () = Emit.Emit_cpp.emit_module (optimized_gemm ()) in
+  Alcotest.(check bool) "same output twice" true (String.equal (emit ()) (emit ()))
+
+let test_emit_dse_result_for_all_kernels () =
+  List.iter
+    (fun k ->
+      let ctx, m = compile_kernel ~n:8 k in
+      let top = Models.Polybench.name k in
+      let r = Dse.run ~samples:6 ~iterations:8 ~seed:1 ctx m ~top ~platform:Vhls.Platform.xc7z020 in
+      let cpp = Emit.Emit_cpp.emit_module r.Dse.module_ in
+      Alcotest.(check bool) (top ^ " optimized emits") true (balanced_braces cpp))
+    Models.Polybench.all
+
+(* The emitted code must be real C: syntax-check it with gcc when one is
+   available (skipped otherwise). *)
+let test_emitted_code_gcc_clean () =
+  if Sys.command "command -v gcc >/dev/null 2>&1" <> 0 then ()
+  else
+    List.iter
+      (fun k ->
+        let ctx, m = compile_kernel ~n:8 k in
+        let top = Models.Polybench.name k in
+        let r = Dse.run ~samples:4 ~iterations:6 ~seed:2 ctx m ~top ~platform:Vhls.Platform.xc7z020 in
+        let cpp = Emit.Emit_cpp.emit_module r.Dse.module_ in
+        let path = Filename.temp_file ("scalehls_" ^ top) ".c" in
+        let oc = open_out path in
+        output_string oc cpp;
+        close_out oc;
+        let rc = Sys.command (Printf.sprintf "gcc -fsyntax-only -xc %s 2>/dev/null" (Filename.quote path)) in
+        Sys.remove path;
+        Alcotest.(check int) (top ^ " emitted code is valid C") 0 rc)
+      [ Models.Polybench.Gemm; Models.Polybench.Syrk; Models.Polybench.Trmm ]
+
+let suite =
+  ( "emit",
+    [
+      Alcotest.test_case "all kernels emit" `Quick test_emit_all_kernels_plain;
+      Alcotest.test_case "directive pragmas" `Quick test_emit_pragmas;
+      Alcotest.test_case "loops and conditionals" `Quick test_emit_loops_and_ifs;
+      Alcotest.test_case "returned scalar -> pointer" `Quick test_emit_returned_scalar_becomes_pointer;
+      Alcotest.test_case "dataflow pragma" `Quick test_emit_dataflow_pragma;
+      Alcotest.test_case "AXI interface pragma" `Quick test_emit_interface_pragma;
+      Alcotest.test_case "local array declarations" `Quick test_emit_local_array_decl;
+      Alcotest.test_case "deterministic output" `Quick test_emit_deterministic;
+      Alcotest.test_case "optimized kernels emit" `Slow test_emit_dse_result_for_all_kernels;
+      Alcotest.test_case "emitted code passes gcc" `Slow test_emitted_code_gcc_clean;
+    ] )

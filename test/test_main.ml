@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "scalehls"
+    [
+      Test_affine.suite;
+      Test_ir.suite;
+      Test_frontend.suite;
+      Test_transforms.suite;
+      Test_partition.suite;
+      Test_estimator.suite;
+      Test_dse.suite;
+      Test_graph.suite;
+      Test_emit.suite;
+      Test_lower.suite;
+      Test_qor_ml.suite;
+    ]
