@@ -13,7 +13,12 @@
      fig7        Figure 7 — DNN ablation (D, Ln+D, Gn+L7+D)
      estimator   QoR-estimator vs virtual-tool cross-validation
      dse_ablation  neighbor-traversing DSE vs random sampling
+     dse_bench   parallel vs sequential DSE engine -> BENCH_dse.json
      micro       Bechamel micro-benchmarks of the compiler
+
+   Flags: --budget N scales evaluation budgets, --size/--max-size the problem
+   sizes, --jobs N the DSE worker-domain count (table3/fig6; dse_bench picks
+   its own arms).
 
    Absolute cycle counts come from the virtual downstream synthesizer (see
    DESIGN.md substitutions); the paper's Vivado numbers differ in absolute
@@ -50,17 +55,17 @@ let partition_string kernel f =
   in
   String.concat " " (List.filter_map Fun.id parts)
 
-let run_kernel_dse ~size ~samples ~iterations kernel =
+let run_kernel_dse ?(jobs = 1) ?(seed = 42) ~size ~samples ~iterations kernel =
   let ctx = Ir.Ctx.create () in
   let top = Models.Polybench.name kernel in
   let m = Pipeline.compile_c ctx (Models.Polybench.source kernel ~n:size) in
   let t0 = Unix.gettimeofday () in
-  let r = Dse.run ~samples ~iterations ~seed:42 ctx m ~top ~platform:P.xc7z020 in
+  let r = Dse.run ~samples ~iterations ~seed ~jobs ctx m ~top ~platform:P.xc7z020 in
   let dse_time = Unix.gettimeofday () -. t0 in
   let base = Vhls.Synth.synthesize m ~top in
   (m, r, base, dse_time)
 
-let table3 ~size ~budget () =
+let table3 ?(jobs = 1) ~size ~budget () =
   header (Printf.sprintf "Table 3: DSE results of computation kernels (size %d, XC7Z020)" size);
   Fmt.pr "%-8s %-6s %-9s %-4s %-4s %-12s %-16s %-4s %s@." "Kernel" "Size" "Speedup"
     "LP" "RVB" "PermMap" "TileSizes" "II" "ArrayPartitionFactors";
@@ -68,7 +73,7 @@ let table3 ~size ~budget () =
   List.iter
     (fun kernel ->
       let m, r, base, dse_time =
-        run_kernel_dse ~size ~samples:(24 * budget) ~iterations:(48 * budget) kernel
+        run_kernel_dse ~jobs ~size ~samples:(24 * budget) ~iterations:(48 * budget) kernel
       in
       ignore m;
       match r.Dse.best with
@@ -97,7 +102,7 @@ let table3 ~size ~budget () =
 
 (* ---- Figure 6 ------------------------------------------------------------------ *)
 
-let fig6 ~max_size ~budget () =
+let fig6 ?(jobs = 1) ~max_size ~budget () =
   header (Printf.sprintf "Figure 6: scalability study (problem sizes 32..%d)" max_size);
   let sizes =
     let rec go s = if s > max_size then [] else s :: go (s * 2) in
@@ -112,7 +117,7 @@ let fig6 ~max_size ~budget () =
         List.map
           (fun size ->
             let _, r, base, _ =
-              run_kernel_dse ~size ~samples:(12 * budget) ~iterations:(16 * budget) kernel
+              run_kernel_dse ~jobs ~size ~samples:(12 * budget) ~iterations:(16 * budget) kernel
             in
             match r.Dse.best with
             | Some _ ->
@@ -294,6 +299,65 @@ let dse_ablation ~budget () =
         (if with_neighbors <= random_only then "  (neighbors win or tie)" else ""))
     Models.Polybench.all
 
+(* ---- Parallel DSE bench (BENCH_dse.json) ----------------------------------------------- *)
+
+(* Measures the parallel, memoizing DSE engine against the sequential
+   baseline on one kernel, verifies that both arms return the identical
+   Pareto frontier (the engine's determinism guarantee), and records the
+   perf trajectory in machine-readable BENCH_dse.json. *)
+let dse_bench ?(jobs = 0) ~size ~budget () =
+  header (Printf.sprintf "Parallel DSE bench (gemm, size %d)" size);
+  let kernel = Models.Polybench.Gemm in
+  let samples = 24 * budget and iterations = 48 * budget in
+  let arm ~jobs =
+    let _, r, _, wall = run_kernel_dse ~jobs ~size ~samples ~iterations kernel in
+    (r, wall)
+  in
+  let frontier_sig r =
+    List.map
+      (fun p -> (p.Dse.point, p.Dse.estimate.Estimator.latency, Dse.area_of p.Dse.estimate))
+      r.Dse.pareto
+  in
+  let r1, t1 = arm ~jobs:1 in
+  let rn, tn = arm ~jobs in
+  let jobs_eff = rn.Dse.stats.Dse.jobs in
+  let frontier_match = frontier_sig r1 = frontier_sig rn && r1.Dse.explored = rn.Dse.explored in
+  let pps r t = float_of_int r.Dse.explored /. Float.max 1e-9 t in
+  Fmt.pr "sequential: %d points in %5.2fs (%.1f points/s)@." r1.Dse.explored t1 (pps r1 t1);
+  Fmt.pr "parallel  : %d points in %5.2fs (%.1f points/s, %d workers)@." rn.Dse.explored
+    tn (pps rn tn) jobs_eff;
+  Fmt.pr "speedup   : %.2fx   frontier match: %b@." (t1 /. Float.max 1e-9 tn) frontier_match;
+  Fmt.pr "pre-cache : %d hits / %d misses; eval cache: %d hits / %d misses@."
+    rn.Dse.stats.Dse.pre_hits rn.Dse.stats.Dse.pre_misses rn.Dse.stats.Dse.cache_hits
+    rn.Dse.stats.Dse.cache_misses;
+  if not frontier_match then
+    Fmt.epr "WARNING: parallel DSE diverged from the sequential baseline@.";
+  let oc = open_out "BENCH_dse.json" in
+  Printf.fprintf oc
+    {|{
+  "kernel": "%s",
+  "size": %d,
+  "samples": %d,
+  "iterations": %d,
+  "seed": 42,
+  "cores": %d,
+  "sequential": { "jobs": 1, "wall_s": %.3f, "points": %d, "points_per_sec": %.2f },
+  "parallel": { "jobs": %d, "wall_s": %.3f, "points": %d, "points_per_sec": %.2f },
+  "speedup": %.3f,
+  "frontier_match": %b,
+  "cache": { "pre_hits": %d, "pre_misses": %d, "eval_hits": %d, "eval_misses": %d }
+}
+|}
+    (Models.Polybench.name kernel)
+    size samples iterations
+    (Domain.recommended_domain_count ())
+    t1 r1.Dse.explored (pps r1 t1) jobs_eff tn rn.Dse.explored (pps rn tn)
+    (t1 /. Float.max 1e-9 tn)
+    frontier_match rn.Dse.stats.Dse.pre_hits rn.Dse.stats.Dse.pre_misses
+    rn.Dse.stats.Dse.cache_hits rn.Dse.stats.Dse.cache_misses;
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_dse.json@."
+
 (* ---- Bechamel micro-benchmarks ---------------------------------------------------------- *)
 
 let micro () =
@@ -357,14 +421,17 @@ let () =
   let budget = opt_val "--budget" 1 in
   let size = opt_val "--size" 4096 in
   let max_size = opt_val "--max-size" 1024 in
+  let jobs = opt_val "--jobs" 1 in
   let all = not (has "table3" || has "fig6" || has "table4" || has "fig7"
-                 || has "estimator" || has "dse_ablation" || has "micro") in
+                 || has "estimator" || has "dse_ablation" || has "dse_bench"
+                 || has "micro") in
   let t0 = Unix.gettimeofday () in
-  if all || has "table3" then table3 ~size ~budget ();
-  if all || has "fig6" then fig6 ~max_size ~budget ();
+  if all || has "table3" then table3 ~jobs ~size ~budget ();
+  if all || has "fig6" then fig6 ~jobs ~max_size ~budget ();
   if all || has "table4" then table4 ();
   if all || has "fig7" then fig7 ();
   if all || has "estimator" then estimator_validation ();
   if all || has "dse_ablation" then dse_ablation ~budget ();
+  if all || has "dse_bench" then dse_bench ~size:(min size 64) ~budget ();
   if all || has "micro" then micro ();
   Fmt.pr "@.total bench wall time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -21,7 +21,7 @@ let platform_of_name = function
       Fmt.epr "unknown platform %s (xc7z020 | vu9p-slr)@." p;
       exit 2
 
-let run input kernel size top platform samples iterations seed emit =
+let run input kernel size top platform samples iterations seed jobs emit =
   let ctx = Ir.Ctx.create () in
   let src, top =
     match (input, kernel) with
@@ -42,9 +42,13 @@ let run input kernel size top platform samples iterations seed emit =
   let platform = platform_of_name platform in
   let m = Pipeline.compile_c ctx src in
   let t0 = Unix.gettimeofday () in
-  let r = Dse.run ~samples ~iterations ~seed ctx m ~top ~platform in
+  let r = Dse.run ~samples ~iterations ~seed ~jobs ctx m ~top ~platform in
   let dt = Unix.gettimeofday () -. t0 in
-  Fmt.pr "explored %d design points in %.2fs@." r.Dse.explored dt;
+  Fmt.pr "explored %d design points in %.2fs (%.1f points/s, %d worker%s)@."
+    r.Dse.explored dt
+    (float_of_int r.Dse.explored /. Float.max 1e-9 dt)
+    r.Dse.stats.Dse.jobs
+    (if r.Dse.stats.Dse.jobs = 1 then "" else "s");
   (match r.Dse.best with
   | Some b ->
       let base = Vhls.Synth.synthesize m ~top in
@@ -79,11 +83,19 @@ let platform = Arg.(value & opt string "xc7z020" & info [ "platform" ] ~doc:"Tar
 let samples = Arg.(value & opt int 32 & info [ "samples" ] ~doc:"Initial random samples")
 let iterations = Arg.(value & opt int 80 & info [ "iterations" ] ~doc:"Neighbor-traversal steps")
 let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed")
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel point evaluation (1 = sequential, 0 = \
+           one per core). The result is identical for any value: same seed, \
+           same frontier.")
 let emit = Arg.(value & opt (some string) None & info [ "emit" ] ~docv:"OUT.cpp" ~doc:"Emit optimized HLS C++")
 
 let cmd =
   let doc = "ScaleHLS automated design space exploration" in
   Cmd.v (Cmd.info "scalehls-dse" ~doc)
-    Term.(const run $ input $ kernel $ size $ top $ platform $ samples $ iterations $ seed $ emit)
+    Term.(const run $ input $ kernel $ size $ top $ platform $ samples $ iterations $ seed $ jobs $ emit)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,9 +8,18 @@
 
     The 4-step neighbor-traversing algorithm: (1) sample the design space and
     evaluate each point with the QoR estimator; (2) extract the Pareto
-    frontier; (3) evaluate the closest neighbor of a randomly selected Pareto
-    point; (4) repeat (2)–(3) until no eligible neighbor exists or the
-    iteration budget is exhausted. *)
+    frontier; (3) evaluate the unexplored closest neighbors of a randomly
+    selected Pareto point; (4) repeat (2)–(3) until no eligible neighbor
+    exists or the evaluation budget is exhausted.
+
+    The engine is batch-synchronous and (optionally) parallel: the seed
+    points and each round's unexplored neighbors form a batch that a
+    fixed-size domain pool ({!Parpool}) evaluates concurrently, while all
+    search decisions — RNG draws, Pareto maintenance, batch construction —
+    stay on the coordinator and results merge in submission order. Every
+    point is evaluated re-entrantly against a fresh [Ir.Ctx] derived from the
+    memoized (lp, rvb)-preprocessed module, so the result of a run depends
+    only on the seed: [~jobs:n] reproduces [~jobs:1] bit-for-bit. *)
 
 open Mir
 open Dialects
@@ -38,11 +47,21 @@ type evaluated = {
   feasible : bool;
 }
 
+type stats = {
+  jobs : int;  (** worker-domain count the run used *)
+  wall_seconds : float;  (** wall time of the whole run *)
+  pre_hits : int;  (** (lp, rvb) preprocessing cache hits *)
+  pre_misses : int;  (** ... and misses (≤ 4: one per combo) *)
+  cache_hits : int;  (** evaluation-cache hits (re-proposed points) *)
+  cache_misses : int;  (** points actually evaluated *)
+}
+
 type result = {
   best : evaluated option;  (** lowest latency among feasible points *)
   pareto : evaluated list;  (** latency-increasing Pareto frontier *)
   explored : int;
   module_ : Ir.op;  (** the transformed module of [best] *)
+  stats : stats;
 }
 
 (* ---- Point application ----------------------------------------------------- *)
@@ -85,18 +104,24 @@ let on_main_band f g =
 
 exception Inapplicable
 
-(** Apply a design point to a module: returns the transformed module (with
-    all levels of cleanup applied and directives set). Raises [Inapplicable]
-    when e.g. the permutation is illegal for this point's preprocessing. *)
-let apply_point ctx m ~top (pt : point) : Ir.op =
-  (* RVB runs before LP: once variable bounds are constants, perfectization
-     can sink through loops that were potentially empty before. *)
+(** The (lp, rvb) preprocessing stage of a design point, shared by every
+    point with the same two flags — the DSE engine computes it once per
+    combo. RVB runs before LP: once variable bounds are constants,
+    perfectization can sink through loops that were potentially empty
+    before. *)
+let preprocess ctx m ~lp ~rvb =
   let pre =
-    (if pt.rvb then [ Remove_var_bound.pass ] else [])
-    @ (if pt.lp then [ Loop_perfectization.pass ] else [])
+    (if rvb then [ Remove_var_bound.pass ] else [])
+    @ (if lp then [ Loop_perfectization.pass ] else [])
     @ [ Canonicalize.pass ]
   in
-  let m = Pass.run_pipeline pre ctx m in
+  Pass.run_pipeline pre ctx m
+
+(** Apply the per-point tail of a design point to the already-preprocessed
+    module [m]: permute + tile + pipeline the main band, clean up, derive
+    array partitioning. Raises [Inapplicable] when e.g. the permutation is
+    illegal for this point's preprocessing. *)
+let apply_preprocessed ctx m ~top (pt : point) : Ir.op =
   let f = Ir.find_func_exn m top in
   (* Permute + tile + unroll the main band. *)
   let f =
@@ -151,6 +176,12 @@ let apply_point ctx m ~top (pt : point) : Ir.op =
   let m = Pass.run_pipeline cleanup_passes ctx m in
   let m = Array_partition.run ctx m in
   Pass.run_pipeline [ Canonicalize.pass ] ctx m
+
+(** Apply a design point to a module: returns the transformed module (with
+    all levels of cleanup applied and directives set). Raises [Inapplicable]
+    when e.g. the permutation is illegal for this point's preprocessing. *)
+let apply_point ctx m ~top (pt : point) : Ir.op =
+  apply_preprocessed ctx (preprocess ctx m ~lp:pt.lp ~rvb:pt.rvb) ~top pt
 
 (* ---- Space definition -------------------------------------------------------- *)
 
@@ -229,59 +260,67 @@ let build_space ?(max_unroll = 256) ?(max_ii = 8) ctx m ~top =
 
 let area_of (e : Estimator.estimate) = e.Estimator.usage.Platform.u_dsp
 
-let evaluate ?(max_unroll = 256) ctx m ~top ~platform (pt : point) :
+(** Evaluate one design point. [?pre] supplies the (lp, rvb)-preprocessed
+    module (the engine memoizes it; without it the preprocessing is run here).
+    Only [Inapplicable] means "not a design": any other exception is a
+    transform bug — it is logged with the offending point and re-raised
+    rather than silently swallowed. *)
+let evaluate ?(max_unroll = 256) ?pre ctx m ~top ~platform (pt : point) :
     (evaluated * Ir.op) option =
   let unroll_product = List.fold_left ( * ) 1 pt.tiles in
   if unroll_product > max_unroll then None
   else
-    try
-      let m' = apply_point ctx m ~top pt in
+    let pre_m =
+      match pre with Some p -> p | None -> preprocess ctx m ~lp:pt.lp ~rvb:pt.rvb
+    in
+    match
+      let m' = apply_preprocessed ctx pre_m ~top pt in
       let e = Estimator.estimate m' ~top in
       let feasible = Platform.fits platform e.Estimator.usage in
-      Some ({ point = pt; estimate = e; feasible }, m')
-    with Inapplicable | Invalid_argument _ -> None
+      ({ point = pt; estimate = e; feasible }, m')
+    with
+    | ev -> Some ev
+    | exception Inapplicable -> None
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Logs.err (fun k ->
+            k "dse: point %a raised %s" pp_point pt (Printexc.to_string e));
+        Printexc.raise_with_backtrace e bt
 
 (* ---- Pareto frontier ----------------------------------------------------------- *)
 
 (** Extract the Pareto frontier over (latency, area), keeping only feasible
-    points; sorted by increasing latency. *)
+    points; sorted by increasing latency. A sort-then-sweep: after stable
+    sorting by (latency, area), a point survives iff its area is strictly
+    below every earlier survivor's — O(n log n), and identical (latency,
+    area) duplicates collapse onto the earliest-listed representative. *)
 let pareto_frontier (pts : evaluated list) : evaluated list =
   let feas = List.filter (fun p -> p.feasible) pts in
-  let dominated a b =
-    (* b dominates a *)
-    b.estimate.Estimator.latency <= a.estimate.Estimator.latency
-    && area_of b.estimate <= area_of a.estimate
-    && (b.estimate.Estimator.latency < a.estimate.Estimator.latency
-       || area_of b.estimate < area_of a.estimate)
+  let sorted =
+    List.stable_sort
+      (fun a b ->
+        let c = compare a.estimate.Estimator.latency b.estimate.Estimator.latency in
+        if c <> 0 then c else compare (area_of a.estimate) (area_of b.estimate))
+      feas
   in
-  let frontier =
-    List.filter (fun a -> not (List.exists (fun b -> dominated a b) feas)) feas
+  let rec sweep best_area acc = function
+    | [] -> List.rev acc
+    | p :: rest ->
+        if area_of p.estimate < best_area then
+          sweep (area_of p.estimate) (p :: acc) rest
+        else sweep best_area acc rest
   in
-  (* dedup identical (latency, area) *)
-  let tbl = Hashtbl.create 16 in
-  let frontier =
-    List.filter
-      (fun p ->
-        let k = (p.estimate.Estimator.latency, area_of p.estimate) in
-        if Hashtbl.mem tbl k then false
-        else begin
-          Hashtbl.replace tbl k ();
-          true
-        end)
-      frontier
-  in
-  List.sort
-    (fun a b -> compare a.estimate.Estimator.latency b.estimate.Estimator.latency)
-    frontier
+  sweep max_int [] sorted
 
 (* ---- Sampling and neighbors ------------------------------------------------------ *)
 
 let random_point rng (s : space) : point =
-  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  let pick arr = arr.(Random.State.int rng (Array.length arr)) in
+  let tile_options = Array.of_list (List.map Array.of_list s.tile_options) in
   (* Tile sizes are sampled under the unroll budget: dims are visited in a
      random order and each picks among options that still fit, so large
      problem sizes do not drown the sampler in infeasible points. *)
-  let n = List.length s.tile_options in
+  let n = Array.length tile_options in
   let order = Array.init n Fun.id in
   for i = n - 1 downto 1 do
     let j = Random.State.int rng (i + 1) in
@@ -293,19 +332,23 @@ let random_point rng (s : space) : point =
   let remaining = ref s.max_unroll in
   Array.iter
     (fun d ->
-      let opts = List.filter (fun t -> t <= !remaining) (List.nth s.tile_options d) in
-      let t = match opts with [] -> 1 | _ -> pick opts in
+      let opts =
+        Array.of_seq
+          (Seq.filter (fun t -> t <= !remaining) (Array.to_seq tile_options.(d)))
+      in
+      let t = if Array.length opts = 0 then 1 else pick opts in
       tiles.(d) <- t;
       remaining := !remaining / max 1 t)
     order;
-  let perm = pick s.perms in
+  let perm = pick (Array.of_list s.perms) in
   let identity = List.init (List.length perm) Fun.id in
+  let pick_l l = pick (Array.of_list l) in
   (* A non-identity permutation needs a perfect, constant-bound band: couple
      the LP/RVB knobs to it so samples are not wasted on inapplicable
      points. *)
-  let lp = if perm <> identity && List.mem true s.lp_options then true else pick s.lp_options in
-  let rvb = if perm <> identity && List.mem true s.rvb_options then true else pick s.rvb_options in
-  { lp; rvb; perm; tiles = Array.to_list tiles; target_ii = pick s.ii_options }
+  let lp = if perm <> identity && List.mem true s.lp_options then true else pick_l s.lp_options in
+  let rvb = if perm <> identity && List.mem true s.rvb_options then true else pick_l s.rvb_options in
+  { lp; rvb; perm; tiles = Array.to_list tiles; target_ii = pick_l s.ii_options }
 
 (** Closest neighbors of a point: one dimension moved one step. *)
 let neighbors (s : space) (pt : point) : point list =
@@ -325,15 +368,17 @@ let neighbors (s : space) (pt : point) : point list =
   let ii_neighbors =
     List.map (fun ii -> { pt with target_ii = ii }) (adjacent s.ii_options pt.target_ii)
   in
+  let tile_arr = Array.of_list pt.tiles in
   let tile_neighbors =
     List.concat
       (List.mapi
          (fun i opts ->
-           let v = List.nth pt.tiles i in
            List.map
              (fun v' ->
-               { pt with tiles = List.mapi (fun j t -> if j = i then v' else t) pt.tiles })
-             (adjacent opts v))
+               let tiles' = Array.copy tile_arr in
+               tiles'.(i) <- v';
+               { pt with tiles = Array.to_list tiles' })
+             (adjacent opts tile_arr.(i)))
          s.tile_options)
   in
   let perm_neighbors =
@@ -350,28 +395,92 @@ let neighbors (s : space) (pt : point) : point list =
 (* ---- The engine -------------------------------------------------------------------- *)
 
 (** Run the DSE: [samples] initial random points, then up to [iterations]
-    neighbor-traversal steps. Deterministic for a given [seed]. *)
+    neighbor-traversal evaluations. Deterministic for a given [seed],
+    independently of [jobs] ([jobs <= 0] means one worker per core): all
+    search decisions happen on the coordinator; workers only evaluate.
+
+    [jobs] is capped at [Domain.recommended_domain_count ()]: point
+    evaluation allocates heavily on the shared major heap, and domains beyond
+    the core count add only GC-synchronization overhead (measured ~linear
+    slowdown per extra busy domain on an oversubscribed machine), never
+    parallelism. *)
 let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
-    ?(max_ii = 8) ?(heuristic_seeds = true) ctx m ~top ~platform : result =
+    ?(max_ii = 8) ?(heuristic_seeds = true) ?(jobs = 1) ctx m ~top ~platform :
+    result =
+  let jobs =
+    let cores = Domain.recommended_domain_count () in
+    if jobs <= 0 then cores else min jobs cores
+  in
+  let t_start = Unix.gettimeofday () in
   let rng = Random.State.make [| seed |] in
   let s = build_space ~max_unroll ~max_ii ctx m ~top in
-  let seen : (point, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* Memoization. The preprocessing cache holds the (lp, rvb)-preprocessed
+     module (4 combos at most; previously recomputed for every point). The
+     evaluation cache memoizes point -> estimate and doubles as the engine's
+     "seen" set; it deliberately does NOT retain transformed modules — those
+     are kept separately and only for current-frontier points, so memory
+     stays bounded by the frontier, not the explored count. *)
+  let pre_cache : (bool * bool, Ir.op) Eval_cache.t = Eval_cache.create ~size:4 () in
+  let cache : (point, evaluated option) Eval_cache.t = Eval_cache.create () in
+  let preprocessed lp rvb =
+    Eval_cache.find_or_add pre_cache (lp, rvb) (fun () ->
+        preprocess (Ir.Ctx.of_op m) m ~lp ~rvb)
+  in
+  (* Re-entrant point evaluation: a fresh context derived from the shared
+     preprocessed module, so concurrent evaluations never contend and the
+     outcome is a pure function of the point. *)
+  let eval_one pt =
+    let pre = preprocessed pt.lp pt.rvb in
+    evaluate ~max_unroll ~pre (Ir.Ctx.of_op pre) m ~top ~platform pt
+  in
   let evaluated = ref [] in
   let explored = ref 0 in
-  let modules : (point * Ir.op) list ref = ref [] in
-  let eval pt =
-    if not (Hashtbl.mem seen pt) then begin
-      Hashtbl.replace seen pt ();
-      incr explored;
-      match evaluate ~max_unroll ctx m ~top ~platform pt with
-      | Some (ev, m') ->
-          evaluated := ev :: !evaluated;
-          if ev.feasible then modules := (pt, m') :: !modules
-      | None -> ()
-    end
+  let modules : (point, Ir.op) Hashtbl.t = Hashtbl.create 32 in
+  (* Keep transformed modules only for points on the current frontier;
+     dominated points can never rejoin it (their dominators are never
+     forgotten), so dropping them each round is safe. *)
+  let prune_modules frontier =
+    let keep = Hashtbl.create 16 in
+    List.iter (fun p -> Hashtbl.replace keep p.point ()) frontier;
+    let drop =
+      Hashtbl.fold
+        (fun pt _ acc -> if Hashtbl.mem keep pt then acc else pt :: acc)
+        modules []
+    in
+    List.iter (Hashtbl.remove modules) drop
+  in
+  Parpool.with_pool ~jobs @@ fun pool ->
+  (* Evaluate a batch of proposals: dedup within the batch, drop already
+     cached points (counted as cache hits), evaluate the rest on the pool,
+     and merge results in submission order — the merge order, not worker
+     scheduling, defines the engine's state. *)
+  let eval_batch pts =
+    let in_batch = Hashtbl.create 16 in
+    let fresh =
+      List.filter
+        (fun pt ->
+          if Hashtbl.mem in_batch pt then false
+          else begin
+            Hashtbl.replace in_batch pt ();
+            Option.is_none (Eval_cache.find_opt cache pt)
+          end)
+        pts
+    in
+    let results = Parpool.map pool eval_one fresh in
+    List.iter2
+      (fun pt res ->
+        Eval_cache.add cache pt (Option.map fst res);
+        incr explored;
+        match res with
+        | Some (ev, m') ->
+            evaluated := ev :: !evaluated;
+            if ev.feasible then Hashtbl.replace modules pt m'
+        | None -> ())
+      fresh results
   in
   (* Step 1: seed with the identity/no-op point plus promising defaults, then
-     random samples. *)
+     random samples — all drawn up front on the coordinator and evaluated as
+     one parallel batch. *)
   let n_band = List.length s.tile_options in
   let base_pt =
     {
@@ -382,18 +491,18 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
       target_ii = 1;
     }
   in
-  eval base_pt;
   (* Heuristic seeds: for each legal permutation, greedy tile sizes that
      fill the unroll budget innermost-first (the paper's "intra-tile loops
      absorbed innermost and fully unrolled" shape) at a ladder of IIs and
      two unroll budgets. These anchor the frontier so the neighbor traversal
      starts from sensible designs even with few random samples. *)
+  let tile_options = Array.of_list s.tile_options in
   let greedy_tiles budget =
-    let n = List.length s.tile_options in
+    let n = Array.length tile_options in
     let tiles = Array.make n 1 in
     let remaining = ref budget in
     for d = n - 1 downto 0 do
-      let opts = List.filter (fun t -> t <= !remaining) (List.nth s.tile_options d) in
+      let opts = List.filter (fun t -> t <= !remaining) tile_options.(d) in
       let t = List.fold_left max 1 opts in
       tiles.(d) <- t;
       remaining := !remaining / max 1 t
@@ -404,29 +513,35 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
   let seed_perms =
     if heuristic_seeds then List.filteri (fun i _ -> i < 4) s.perms else []
   in
-  List.iter
-    (fun perm ->
-      List.iter
-        (fun budget ->
-          List.iter
-            (fun target_ii ->
-              eval { lp = lp_on; rvb = rvb_on; perm; tiles = greedy_tiles budget; target_ii })
-            [ 1; 8 ])
-        [ max_unroll; max 1 (max_unroll / 4) ])
-    seed_perms;
-  for _ = 1 to samples do
-    eval (random_point rng s)
-  done;
-  (* Steps 2-4: neighbor traversal. *)
+  let heur_pts =
+    List.concat_map
+      (fun perm ->
+        List.concat_map
+          (fun budget ->
+            List.map
+              (fun target_ii ->
+                { lp = lp_on; rvb = rvb_on; perm; tiles = greedy_tiles budget; target_ii })
+              [ 1; 8 ])
+          [ max_unroll; max 1 (max_unroll / 4) ])
+      seed_perms
+  in
+  (* Random draws must happen in a defined order (List.init's application
+     order is unspecified). *)
+  let rec draw_samples k = if k = 0 then [] else random_point rng s :: draw_samples (k - 1) in
+  eval_batch ((base_pt :: heur_pts) @ draw_samples samples);
+  (* Steps 2-4: neighbor traversal, one frontier point per round, all of its
+     unexplored neighbors as one batch. [iterations] budgets the number of
+     traversal evaluations. *)
+  let used = ref 0 in
   let continue_ = ref true in
-  let iter = ref 0 in
-  while !continue_ && !iter < iterations do
-    incr iter;
+  while !continue_ && !used < iterations do
     let frontier = pareto_frontier !evaluated in
+    prune_modules frontier;
     match frontier with
     | [] ->
         (* nothing feasible yet: keep sampling *)
-        eval (random_point rng s)
+        eval_batch [ random_point rng s ];
+        incr used
     | _ ->
         (* Traverse neighbors of a random Pareto point; occasionally also of
            the fastest infeasible point (raising its II or shrinking its
@@ -444,20 +559,30 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
           in
           match infeasible_best with
           | Some b when Random.State.int rng 4 = 0 -> b
-          | _ -> List.nth frontier (Random.State.int rng (List.length frontier))
+          | _ ->
+              let fr = Array.of_list frontier in
+              fr.(Random.State.int rng (Array.length fr))
         in
         let ns =
-          List.filter (fun n -> not (Hashtbl.mem seen n)) (neighbors s p.point)
+          List.filter (fun n -> not (Eval_cache.mem cache n)) (neighbors s p.point)
         in
         (match ns with
         | [] ->
             (* no unexplored neighbor of this point; try a random sample to
                avoid premature termination, stop if space is exhausted *)
             let unexplored_exists = !explored < space_size s in
-            if unexplored_exists then eval (random_point rng s) else continue_ := false
-        | n :: _ -> eval n)
+            if unexplored_exists then begin
+              eval_batch [ random_point rng s ];
+              incr used
+            end
+            else continue_ := false
+        | _ ->
+            let batch = List.filteri (fun i _ -> i < iterations - !used) ns in
+            eval_batch batch;
+            used := !used + List.length batch)
   done;
   let frontier = pareto_frontier !evaluated in
+  prune_modules frontier;
   let best =
     match frontier with
     | [] -> None
@@ -466,9 +591,21 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
   let module_ =
     match best with
     | Some b -> (
-        match List.find_opt (fun (pt, _) -> pt = b.point) !modules with
-        | Some (_, m') -> m'
-        | None -> m)
+        match Hashtbl.find_opt modules b.point with
+        | Some m' -> m'
+        | None -> (
+            (* unreachable in practice: frontier modules are retained *)
+            match eval_one b.point with Some (_, m') -> m' | None -> m))
     | None -> m
   in
-  { best; pareto = frontier; explored = !explored; module_ }
+  let stats =
+    {
+      jobs = Parpool.jobs pool;
+      wall_seconds = Unix.gettimeofday () -. t_start;
+      pre_hits = Eval_cache.hits pre_cache;
+      pre_misses = Eval_cache.misses pre_cache;
+      cache_hits = Eval_cache.hits cache;
+      cache_misses = Eval_cache.misses cache;
+    }
+  in
+  { best; pareto = frontier; explored = !explored; module_; stats }

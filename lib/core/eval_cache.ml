@@ -1,0 +1,69 @@
+(** A small thread-safe memoization table with hit/miss accounting, shared by
+    the DSE engine's two caches: the (lp, rvb) preprocessing cache (4 combos,
+    previously recomputed for every design point) and the per-point evaluation
+    cache. Keys use structural equality/hashing.
+
+    Safe to use from multiple domains: lookups and inserts are serialized by a
+    mutex, but {!find_or_add} runs the producer *outside* the lock so slow
+    computations (a full transform pipeline) don't stall other workers. Two
+    domains racing on the same absent key may both compute; the first insert
+    wins and both callers observe the winning value, so as long as producers
+    are deterministic functions of the key the cache never exposes divergent
+    values. *)
+
+type ('k, 'v) t = {
+  tbl : ('k, 'v) Hashtbl.t;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(size = 64) () =
+  { tbl = Hashtbl.create size; lock = Mutex.create (); hits = 0; misses = 0 }
+
+let with_lock c f =
+  Mutex.lock c.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
+
+(** Counted lookup: bumps the hit or miss counter. *)
+let find_opt c k =
+  with_lock c (fun () ->
+      match Hashtbl.find_opt c.tbl k with
+      | Some v ->
+          c.hits <- c.hits + 1;
+          Some v
+      | None ->
+          c.misses <- c.misses + 1;
+          None)
+
+(** Uncounted membership test (for filtering candidates without skewing the
+    hit rate). *)
+let mem c k = with_lock c (fun () -> Hashtbl.mem c.tbl k)
+
+(** Insert-if-absent; an existing binding is kept (first writer wins). *)
+let add c k v =
+  with_lock c (fun () -> if not (Hashtbl.mem c.tbl k) then Hashtbl.add c.tbl k v)
+
+(** [find_or_add c k produce] returns the cached value for [k], computing and
+    inserting it with [produce] on a miss. [produce] runs outside the lock. *)
+let find_or_add c k produce =
+  match find_opt c k with
+  | Some v -> v
+  | None -> (
+      let v = produce () in
+      with_lock c (fun () ->
+          match Hashtbl.find_opt c.tbl k with
+          | Some existing -> existing (* lost the race: agree on the winner *)
+          | None ->
+              Hashtbl.add c.tbl k v;
+              v))
+
+let hits c = with_lock c (fun () -> c.hits)
+let misses c = with_lock c (fun () -> c.misses)
+let length c = with_lock c (fun () -> Hashtbl.length c.tbl)
+
+let clear c =
+  with_lock c (fun () ->
+      Hashtbl.reset c.tbl;
+      c.hits <- 0;
+      c.misses <- 0)

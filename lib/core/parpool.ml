@@ -1,0 +1,115 @@
+(** A reusable fixed-size pool of worker domains for data-parallel batch
+    evaluation (stdlib [Domain]/[Mutex]/[Condition] only).
+
+    The pool owns [jobs] worker domains pulling closures off a shared queue;
+    {!map} submits one task per list element and blocks until the whole batch
+    is done, returning results in submission order (so callers that merge
+    results stay deterministic regardless of scheduling). A pool created with
+    [jobs <= 1] spawns no domains and runs every batch inline on the caller,
+    which makes the [jobs = 1] code path bit-for-bit identical to a plain
+    [List.map].
+
+    [map] is not re-entrant: tasks must not themselves call [map] on the same
+    pool (they would deadlock waiting for workers that are all busy). *)
+
+type t = {
+  jobs : int;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  work_available : Condition.t;
+  batch_done : Condition.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let jobs t = t.jobs
+
+let rec worker_loop pool =
+  Mutex.lock pool.lock;
+  while Queue.is_empty pool.queue && not pool.stopping do
+    Condition.wait pool.work_available pool.lock
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.lock (* stopping: exit *)
+  else begin
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.lock;
+    task ();
+    worker_loop pool
+  end
+
+(** [create ~jobs ()] builds a pool of [jobs] worker domains. [jobs <= 0]
+    means "one per core" ([Domain.recommended_domain_count]). *)
+let create ?(jobs = 1) () =
+  let jobs = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
+  let pool =
+    {
+      jobs;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+      batch_done = Condition.create ();
+      stopping = false;
+      workers = [||];
+    }
+  in
+  if jobs > 1 then
+    pool.workers <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+(** Evaluate [f] over [xs], in parallel on the pool's workers. Results come
+    back in submission order; if any task raised, the first (by submission
+    order) exception is re-raised on the caller after the batch drains, so
+    failure behavior is deterministic too. *)
+let map pool f xs =
+  if Array.length pool.workers = 0 then List.map f xs
+  else
+    match xs with
+    | [] -> []
+    | _ ->
+        let arr = Array.of_list xs in
+        let n = Array.length arr in
+        let out = Array.make n None in
+        let remaining = ref n in
+        Mutex.lock pool.lock;
+        Array.iteri
+          (fun i x ->
+            Queue.add
+              (fun () ->
+                let r = try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ()) in
+                Mutex.lock pool.lock;
+                out.(i) <- Some r;
+                decr remaining;
+                if !remaining = 0 then Condition.broadcast pool.batch_done;
+                Mutex.unlock pool.lock)
+              pool.queue)
+          arr;
+        Condition.broadcast pool.work_available;
+        while !remaining > 0 do
+          Condition.wait pool.batch_done pool.lock
+        done;
+        Mutex.unlock pool.lock;
+        Array.to_list
+          (Array.map
+             (function
+               | Some (Ok v) -> v
+               | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+               | None -> assert false)
+             out)
+
+(** Shut the pool down: pending tasks are drained, then workers exit and are
+    joined. Mapping on a shut-down pool falls back to inline execution. *)
+let shutdown pool =
+  if Array.length pool.workers > 0 then begin
+    Mutex.lock pool.lock;
+    pool.stopping <- true;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.lock;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||]
+  end
+
+(** [with_pool ~jobs f] runs [f pool] and shuts the pool down on the way out,
+    exceptions included. *)
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

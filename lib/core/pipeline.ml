@@ -21,10 +21,10 @@ let compile_c ctx src =
     ctx m
 
 (** The automated kernel flow: DSE under the platform constraints. *)
-let kernel_flow ?samples ?iterations ?seed ?max_unroll ?max_ii ?heuristic_seeds ctx m
-    ~top ~platform =
-  Dse.run ?samples ?iterations ?seed ?max_unroll ?max_ii ?heuristic_seeds ctx m ~top
-    ~platform
+let kernel_flow ?samples ?iterations ?seed ?max_unroll ?max_ii ?heuristic_seeds ?jobs
+    ctx m ~top ~platform =
+  Dse.run ?samples ?iterations ?seed ?max_unroll ?max_ii ?heuristic_seeds ?jobs ctx m
+    ~top ~platform
 
 (* ---- DNN flow ---------------------------------------------------------------- *)
 

@@ -91,12 +91,13 @@ let all_passes =
 
 (** The [-multiple-level-dse] pass (§5.5.2): applies the full DSE engine to
     every function of the module under the given platform constraints. *)
-let multiple_level_dse ?samples ?iterations ?seed ?(platform = Platform.xc7z020) () =
+let multiple_level_dse ?samples ?iterations ?seed ?jobs
+    ?(platform = Platform.xc7z020) () =
   Pass.make "multiple-level-dse" (fun ctx m ->
       List.fold_left
         (fun m f ->
           let top = Ir.func_name f in
-          let r = Dse.run ?samples ?iterations ?seed ctx m ~top ~platform in
+          let r = Dse.run ?samples ?iterations ?seed ?jobs ctx m ~top ~platform in
           r.Dse.module_)
         m (Ir.module_funcs m))
 

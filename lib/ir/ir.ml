@@ -18,19 +18,25 @@ and block = { bargs : value list; bops : op list }
 and region = block list
 
 module Ctx = struct
-  type t = { mutable next_id : int }
+  (* Atomic so that a context can be shared across domains: the parallel DSE
+     engine evaluates design points concurrently, and every mint must stay
+     unique even under contention. *)
+  type t = { next_id : int Atomic.t }
 
-  let create () = { next_id = 0 }
+  let create () = { next_id = Atomic.make 0 }
 
   let fresh ctx vty =
-    let vid = ctx.next_id in
-    ctx.next_id <- ctx.next_id + 1;
+    let vid = Atomic.fetch_and_add ctx.next_id 1 in
     { vid; vty }
 
   (** Create a context whose counter is past every value in [op] — used when
       resuming transformation of a parsed/deserialized module. *)
   let rec seed_from_op ctx (o : op) =
-    let bump v = if v.vid >= ctx.next_id then ctx.next_id <- v.vid + 1 in
+    let rec bump v =
+      let cur = Atomic.get ctx.next_id in
+      if v.vid >= cur && not (Atomic.compare_and_set ctx.next_id cur (v.vid + 1))
+      then bump v
+    in
     List.iter bump o.results;
     List.iter bump o.operands;
     List.iter

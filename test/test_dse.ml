@@ -55,6 +55,32 @@ let prop_pareto_no_dominated =
             front)
         front)
 
+(* The O(n log n) sort-and-sweep must agree with the textbook O(n^2)
+   dominance filter (modulo the representative kept among duplicate
+   (latency, area) pairs, which both collapse to one). *)
+let naive_pareto (pts : Dse.evaluated list) : (int * int) list =
+  let feas = List.filter (fun (p : Dse.evaluated) -> p.Dse.feasible) pts in
+  let dominated (a : Dse.evaluated) (b : Dse.evaluated) =
+    b.Dse.estimate.Estimator.latency <= a.Dse.estimate.Estimator.latency
+    && Dse.area_of b.Dse.estimate <= Dse.area_of a.Dse.estimate
+    && (b.Dse.estimate.Estimator.latency < a.Dse.estimate.Estimator.latency
+       || Dse.area_of b.Dse.estimate < Dse.area_of a.Dse.estimate)
+  in
+  List.filter (fun a -> not (List.exists (dominated a) feas)) feas
+  |> List.map (fun (p : Dse.evaluated) ->
+         (p.Dse.estimate.Estimator.latency, Dse.area_of p.Dse.estimate))
+  |> List.sort_uniq compare
+
+let prop_pareto_matches_naive =
+  qtest ~count:200 "sweep frontier = naive O(n^2) frontier" arb_points (fun pts ->
+      let fast =
+        List.map
+          (fun (p : Dse.evaluated) ->
+            (p.Dse.estimate.Estimator.latency, Dse.area_of p.Dse.estimate))
+          (Dse.pareto_frontier pts)
+      in
+      fast = naive_pareto pts)
+
 let prop_pareto_covers =
   qtest ~count:200 "every point is dominated by or on the frontier" arb_points (fun pts ->
       let front = Dse.pareto_frontier pts in
@@ -141,6 +167,120 @@ let test_dse_respects_resources () =
         (P.fits P.xc7z020 p.Dse.estimate.Estimator.usage))
     r.Dse.pareto
 
+(* ---- Parallel engine -------------------------------------------------------------------- *)
+
+(* The engine's headline guarantee: the worker count is invisible in the
+   result. Same seed => same explored count, same Pareto frontier, same best
+   point, whether evaluation is sequential or runs on a domain pool. *)
+let frontier_sig (r : Dse.result) =
+  ( r.Dse.explored,
+    Option.map (fun b -> b.Dse.point) r.Dse.best,
+    List.map
+      (fun p ->
+        (p.Dse.point, p.Dse.estimate.Estimator.latency, Dse.area_of p.Dse.estimate))
+      r.Dse.pareto )
+
+let check_jobs_invariant kernel ~n ~top =
+  let run jobs =
+    let ctx, m = compile_kernel ~n kernel in
+    Dse.run ~samples:10 ~iterations:16 ~seed:11 ~jobs ctx m ~top ~platform:P.xc7z020
+  in
+  let r1 = run 1 and r4 = run 4 in
+  Alcotest.(check bool)
+    (top ^ ": -j 1 and -j 4 agree")
+    true
+    (frontier_sig r1 = frontier_sig r4)
+
+let test_parallel_deterministic_gemm () =
+  check_jobs_invariant Models.Polybench.Gemm ~n:16 ~top:"gemm"
+
+let test_parallel_deterministic_syrk () =
+  check_jobs_invariant Models.Polybench.Syrk ~n:8 ~top:"syrk"
+
+let test_run_cache_stats () =
+  let ctx, m = compile_kernel ~n:8 Models.Polybench.Gemm in
+  let r = Dse.run ~samples:10 ~iterations:12 ~seed:4 ctx m ~top:"gemm" ~platform:P.xc7z020 in
+  let s = r.Dse.stats in
+  (* one preprocessing run per (lp, rvb) combo, everything else served from
+     the cache *)
+  Alcotest.(check bool) "pre cache: at most 4 misses" true (s.Dse.pre_misses <= 4);
+  Alcotest.(check bool) "pre cache: hits dominate" true (s.Dse.pre_hits > s.Dse.pre_misses);
+  (* every explored point is exactly one evaluation-cache miss *)
+  Alcotest.(check int) "eval cache: misses = explored" r.Dse.explored s.Dse.cache_misses;
+  Alcotest.(check bool) "wall time measured" true (s.Dse.wall_seconds > 0.)
+
+(* ---- Eval_cache ------------------------------------------------------------------------- *)
+
+let test_eval_cache_basics () =
+  let c : (int, string) Eval_cache.t = Eval_cache.create () in
+  let calls = ref 0 in
+  let produce k () =
+    incr calls;
+    string_of_int (k * 10)
+  in
+  Alcotest.(check string) "computes on miss" "10" (Eval_cache.find_or_add c 1 (produce 1));
+  Alcotest.(check string) "serves from cache" "10" (Eval_cache.find_or_add c 1 (produce 1));
+  Alcotest.(check int) "producer ran once" 1 !calls;
+  Alcotest.(check int) "one hit" 1 (Eval_cache.hits c);
+  Alcotest.(check int) "one miss" 1 (Eval_cache.misses c);
+  Alcotest.(check bool) "mem does not count" true
+    (Eval_cache.mem c 1 && Eval_cache.hits c = 1);
+  Eval_cache.add c 2 "twenty";
+  Eval_cache.add c 2 "ignored (first writer wins)";
+  Alcotest.(check (option string)) "add is insert-if-absent" (Some "twenty")
+    (Eval_cache.find_opt c 2);
+  Alcotest.(check int) "two entries" 2 (Eval_cache.length c);
+  Eval_cache.clear c;
+  Alcotest.(check int) "clear resets entries" 0 (Eval_cache.length c);
+  Alcotest.(check int) "clear resets stats" 0 (Eval_cache.hits c + Eval_cache.misses c)
+
+let test_eval_cache_concurrent () =
+  (* hammer one cache from several domains: every key must memoize to the
+     same value, and lookups after the storm must all hit *)
+  let c : (int, int) Eval_cache.t = Eval_cache.create () in
+  let pool = Parpool.create ~jobs:3 () in
+  let keys = List.init 60 (fun i -> i mod 10) in
+  let vals = Parpool.map pool (fun k -> Eval_cache.find_or_add c k (fun () -> k * k)) keys in
+  Parpool.shutdown pool;
+  Alcotest.(check bool) "all values correct" true
+    (List.for_all2 (fun k v -> v = k * k) keys vals);
+  Alcotest.(check int) "ten distinct entries" 10 (Eval_cache.length c)
+
+(* ---- Parpool ---------------------------------------------------------------------------- *)
+
+let test_parpool_matches_sequential () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * 7) mod 13 in
+  Parpool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check (list int)) "order preserved" (List.map f xs) (Parpool.map pool f xs);
+      (* pool is reusable across batches *)
+      Alcotest.(check (list int)) "second batch" (List.map f xs) (Parpool.map pool f xs);
+      Alcotest.(check (list int)) "empty batch" [] (Parpool.map pool f []))
+
+let test_parpool_inline_when_sequential () =
+  let pool = Parpool.create ~jobs:1 () in
+  Alcotest.(check (list int)) "jobs=1 runs inline" [ 2; 4 ]
+    (Parpool.map pool (fun x -> 2 * x) [ 1; 2 ]);
+  Parpool.shutdown pool
+
+exception Boom of int
+
+let test_parpool_propagates_exceptions () =
+  Parpool.with_pool ~jobs:3 (fun pool ->
+      let raised =
+        try
+          ignore
+            (Parpool.map pool (fun x -> if x mod 4 = 3 then raise (Boom x) else x)
+               (List.init 12 Fun.id));
+          None
+        with Boom x -> Some x
+      in
+      (* the first failing submission wins, deterministically *)
+      Alcotest.(check (option int)) "first error by submission order" (Some 3) raised;
+      (* the pool survives a failed batch *)
+      Alcotest.(check (list int)) "pool still usable" [ 1; 2; 3 ]
+        (Parpool.map pool Fun.id [ 1; 2; 3 ]))
+
 let suite =
   ( "dse",
     [
@@ -148,6 +288,12 @@ let suite =
       Alcotest.test_case "pareto: drops infeasible" `Quick test_pareto_drops_infeasible;
       prop_pareto_no_dominated;
       prop_pareto_covers;
+      prop_pareto_matches_naive;
+      Alcotest.test_case "eval cache: basics" `Quick test_eval_cache_basics;
+      Alcotest.test_case "eval cache: concurrent" `Quick test_eval_cache_concurrent;
+      Alcotest.test_case "parpool: map = sequential map" `Quick test_parpool_matches_sequential;
+      Alcotest.test_case "parpool: jobs=1 inline" `Quick test_parpool_inline_when_sequential;
+      Alcotest.test_case "parpool: exceptions" `Quick test_parpool_propagates_exceptions;
       Alcotest.test_case "space: gemm dimensions" `Quick test_space_gemm;
       Alcotest.test_case "space: rvb only when variable bounds" `Quick test_space_rvb_only_for_triangular;
       Alcotest.test_case "neighbors move one dimension" `Quick test_neighbors_are_close;
@@ -155,4 +301,7 @@ let suite =
       Alcotest.test_case "dse is deterministic" `Slow test_dse_deterministic;
       Alcotest.test_case "dse output is valid + equivalent" `Slow test_dse_result_is_valid_ir;
       Alcotest.test_case "pareto points fit platform" `Slow test_dse_respects_resources;
+      Alcotest.test_case "dse caches: stats" `Slow test_run_cache_stats;
+      Alcotest.test_case "parallel dse: -j invariant (gemm)" `Slow test_parallel_deterministic_gemm;
+      Alcotest.test_case "parallel dse: -j invariant (syrk)" `Slow test_parallel_deterministic_syrk;
     ] )
