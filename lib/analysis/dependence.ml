@@ -319,6 +319,24 @@ let permutation_legal perm deps =
     (fun dep -> List.for_all (permuted_legal perm) (expand_dirs dep.dirs))
     deps
 
+(** Is the band fully permutable — every dependence direction component
+    non-negative? This is the legality condition for rectangular tiling with
+    point loops sunk innermost (the tile execution order interleaves all band
+    dims, so lexicographic non-negativity alone is not enough). A
+    lexicographically negative vector is the reverse image of an ordered pair
+    and does not constrain; [Star] components are conservatively rejected
+    (unknown sign, could become a backward component inside a tile). *)
+let fully_permutable deps =
+  let rec lex_negative = function
+    | Eq :: rest -> lex_negative rest
+    | Lt d :: _ -> d < 0
+    | (Star :: _ | []) -> false
+  in
+  let component_nonneg = function Eq -> true | Lt d -> d > 0 | Star -> false in
+  List.for_all
+    (fun dep -> lex_negative dep.dirs || List.for_all component_nonneg dep.dirs)
+    deps
+
 (** Loop-carried dependence distance on band dim [dim], assuming all other
     dims are equal ([Eq]): for II computation of a pipelined loop. Returns
     [None] when no dependence is carried by [dim];

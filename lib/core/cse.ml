@@ -6,7 +6,19 @@ open Mir
 open Dialects
 
 (* Structural key of a pure op, with operands replaced by their canonical
-   representative ids. *)
+   representative ids. Result types are part of the key: two constants with
+   equal value attrs but different types (e.g. [4 : index] after unrolling vs
+   [4.0 : f32]) are distinct values. Attr keys tag the constructor, because
+   [Attr.to_string] prints [Int 4] and [Float 4.] identically as ["4"]. *)
+let attr_key (k, a) =
+  let s =
+    match a with
+    | Attr.Int i -> "i:" ^ string_of_int i
+    | Attr.Float f -> "f:" ^ Fmt.str "%h" f
+    | a -> Attr.to_string a
+  in
+  (k, s)
+
 let key canon (o : Ir.op) =
   let operand_ids =
     List.map
@@ -16,7 +28,10 @@ let key canon (o : Ir.op) =
         | None -> v.Ir.vid)
       o.Ir.operands
   in
-  (o.Ir.name, operand_ids, List.map (fun (k, a) -> (k, Attr.to_string a)) o.Ir.attrs)
+  ( o.Ir.name,
+    operand_ids,
+    List.map attr_key o.Ir.attrs,
+    List.map (fun (v : Ir.value) -> v.Ir.vty) o.Ir.results )
 
 let rec cse_block canon (b : Ir.block) : Ir.block =
   let seen = Hashtbl.create 32 in

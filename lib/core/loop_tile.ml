@@ -108,16 +108,30 @@ let tile_band ctx band ~sizes : Ir.op option =
     end
   end
 
-(** Pass form: tile every band with a uniform [tile_size] on each loop. *)
+(** Tiling legality for the standalone pass: sinking all point loops
+    innermost interleaves every band dimension, which is semantics-preserving
+    iff the band is fully permutable (all dependence components non-negative).
+    A single loop is always legal — strip-mining alone preserves the
+    iteration order exactly. Found by differential fuzzing: tiling a band
+    with backward or unanalyzable (non-linear access) dependences reordered
+    dependent iterations. *)
+let band_tiling_legal ~scope band =
+  List.length band <= 1
+  || Analysis.Dependence.fully_permutable (Loop_order_opt.band_deps ~scope band)
+
+(** Pass form: tile every band with a uniform [tile_size] on each loop,
+    skipping bands where tiling is not provably legal. *)
 let run_on_func ~tile_size ctx f =
   Ir.with_body f
     (List.map
        (fun o ->
          if Affine_d.is_for o then
            let band = Affine_d.band o in
-           match tile_band ctx band ~sizes:(List.map (fun _ -> tile_size) band) with
-           | Some root -> root
-           | None -> o
+           if not (band_tiling_legal ~scope:f band) then o
+           else
+             match tile_band ctx band ~sizes:(List.map (fun _ -> tile_size) band) with
+             | Some root -> root
+             | None -> o
          else o)
        (Func.func_body f))
 

@@ -23,11 +23,16 @@ let subf ctx a b = binary ctx "arith.subf" a b ~ty:a.vty
 let mulf ctx a b = binary ctx "arith.mulf" a b ~ty:a.vty
 let divf ctx a b = binary ctx "arith.divf" a b ~ty:a.vty
 let maxf ctx a b = binary ctx "arith.maxf" a b ~ty:a.vty
+let minf ctx a b = binary ctx "arith.minf" a b ~ty:a.vty
 let addi ctx a b = binary ctx "arith.addi" a b ~ty:a.vty
 let subi ctx a b = binary ctx "arith.subi" a b ~ty:a.vty
 let muli ctx a b = binary ctx "arith.muli" a b ~ty:a.vty
 let divi ctx a b = binary ctx "arith.divi" a b ~ty:a.vty
 let remi ctx a b = binary ctx "arith.remi" a b ~ty:a.vty
+let floordivi ctx a b = binary ctx "arith.floordivi" a b ~ty:a.vty
+let ceildivi ctx a b = binary ctx "arith.ceildivi" a b ~ty:a.vty
+let maxi ctx a b = binary ctx "arith.maxi" a b ~ty:a.vty
+let mini ctx a b = binary ctx "arith.mini" a b ~ty:a.vty
 
 let negf ctx a =
   let o, rs = mk_fresh ctx "arith.negf" ~operands:[ a ] ~result_tys:[ a.vty ] in
@@ -79,7 +84,8 @@ let is_pure o =
   match o.name with
   | "arith.constant" | "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf"
   | "arith.negf" | "arith.maxf" | "arith.minf" | "arith.addi" | "arith.subi"
-  | "arith.muli" | "arith.divi" | "arith.remi" | "arith.maxi" | "arith.mini"
+  | "arith.muli" | "arith.divi" | "arith.remi" | "arith.floordivi"
+  | "arith.ceildivi" | "arith.maxi" | "arith.mini"
   | "arith.andi" | "arith.ori" | "arith.xori" | "arith.shli" | "arith.shri"
   | "arith.cmpi" | "arith.cmpf" | "arith.select" | "arith.index_cast"
   | "arith.sitofp" | "arith.fptosi" | "arith.extf" | "arith.truncf"

@@ -1,0 +1,123 @@
+(** The seeded regression corpus: reproducer files for fuzzer findings.
+
+    There is no IR parser in this repository, so a reproducer does not store
+    IR — it stores the *recipe*: the program seed and the pass pipeline. The
+    generator's determinism contract ({!Rng}, {!Gen}) guarantees the seed
+    regenerates the exact module on any platform. The printed IR may be
+    embedded as ["#"] comments for human readers; it is ignored on load.
+
+    File format (one finding per [.repro] file, [key: value] lines):
+    {v
+    name: cse-constant-type-confusion
+    oracle: interp-diff
+    seed: 49
+    pipeline: affine-loop-unroll cse
+    note: CSE merged 4 : index with 4.0 : f32 (same printed attr)
+    gen: v1-default
+    # <printed IR, informational only>
+    v} *)
+
+type oracle_kind =
+  | Interp_diff  (** differential interpretation over the pipeline *)
+  | Qor_pipeline  (** pipelining-latency monotonicity *)
+  | Qor_estimator  (** estimator vs virtual-synth agreement *)
+  | Dse_jobs  (** -j N vs -j 1 determinism *)
+
+let oracle_kind_to_string = function
+  | Interp_diff -> "interp-diff"
+  | Qor_pipeline -> "qor-pipeline"
+  | Qor_estimator -> "qor-estimator"
+  | Dse_jobs -> "dse-jobs"
+
+let oracle_kind_of_string = function
+  | "interp-diff" -> Some Interp_diff
+  | "qor-pipeline" -> Some Qor_pipeline
+  | "qor-estimator" -> Some Qor_estimator
+  | "dse-jobs" -> Some Dse_jobs
+  | _ -> None
+
+type entry = {
+  name : string;
+  oracle : oracle_kind;
+  seed : int;
+  pipeline : string list;  (** empty for the non-differential oracles *)
+  note : string;
+  gen : string;  (** generator revision tag; only ["v1-default"] exists *)
+}
+
+let gen_current = "v1-default"
+
+let to_string ?ir e =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "name: %s\n" e.name);
+  Buffer.add_string b (Printf.sprintf "oracle: %s\n" (oracle_kind_to_string e.oracle));
+  Buffer.add_string b (Printf.sprintf "seed: %d\n" e.seed);
+  Buffer.add_string b
+    (Printf.sprintf "pipeline: %s\n"
+       (match e.pipeline with [] -> "-" | ps -> String.concat " " ps));
+  Buffer.add_string b (Printf.sprintf "note: %s\n" e.note);
+  Buffer.add_string b (Printf.sprintf "gen: %s\n" e.gen);
+  (match ir with
+  | None -> ()
+  | Some ir ->
+      String.split_on_char '\n' ir
+      |> List.iter (fun l -> Buffer.add_string b ("# " ^ l ^ "\n")));
+  Buffer.contents b
+
+let of_string s =
+  let kv = Hashtbl.create 8 in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line <> "" && line.[0] <> '#' then
+           match String.index_opt line ':' with
+           | Some i ->
+               let k = String.trim (String.sub line 0 i) in
+               let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+               Hashtbl.replace kv k v
+           | None -> ());
+  let find k = Hashtbl.find_opt kv k in
+  match (find "name", find "oracle", find "seed") with
+  | Some name, Some oracle_s, Some seed_s -> (
+      match (oracle_kind_of_string oracle_s, int_of_string_opt seed_s) with
+      | Some oracle, Some seed ->
+          let pipeline =
+            match find "pipeline" with
+            | None | Some "-" | Some "" -> []
+            | Some ps -> String.split_on_char ' ' ps |> List.filter (( <> ) "")
+          in
+          Ok
+            {
+              name;
+              oracle;
+              seed;
+              pipeline;
+              note = Option.value (find "note") ~default:"";
+              gen = Option.value (find "gen") ~default:gen_current;
+            }
+      | _ -> Error "corpus entry: bad oracle or seed field")
+  | _ -> Error "corpus entry: missing name/oracle/seed field"
+
+let save ?ir path e =
+  let oc = open_out path in
+  output_string oc (to_string ?ir e);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s
+
+(** Replay [e]: regenerate the program from its seed and run the recorded
+    oracle. Returns the oracle's failures — the empty list means the finding
+    is fixed (the expected state for checked-in corpus entries). *)
+let replay (e : entry) : Oracle.failure list =
+  let p = Gen.program ~seed:e.seed () in
+  let m = p.Gen.module_ and top = p.Gen.top in
+  match e.oracle with
+  | Interp_diff -> Oracle.differential ~seed:e.seed m ~top ~pipeline:e.pipeline
+  | Qor_pipeline -> Oracle.qor_pipelining_monotone m ~top
+  | Qor_estimator -> Oracle.qor_estimator_agrees m ~top
+  | Dse_jobs -> Oracle.dse_jobs_deterministic ~seed:e.seed m ~top

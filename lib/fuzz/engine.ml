@@ -1,0 +1,135 @@
+(** The fuzzing campaign driver: generate → oracle → (reduce) loop.
+
+    Each iteration derives an independent program seed from the campaign seed
+    ({!Rng.derive}), generates a program and a valid pipeline, and runs the
+    differential oracle. The QoR metamorphic oracles run on every program
+    (they are cheap); the DSE determinism oracle runs every [dse_every]
+    programs (a DSE run is ~10^3 oracle-interpretations worth of work).
+
+    Failures are optionally reduced on the spot with the oracle that caught
+    them re-checked at every shrink step, so a campaign's output is a list of
+    minimal reproducers ready to land in [test/corpus/]. *)
+
+type finding = {
+  prog_seed : int;
+  oracle : Corpus.oracle_kind;
+  failure : Oracle.failure;  (** the original (pre-reduction) failure *)
+  reduced : Reduce.candidate option;  (** present when reduction ran *)
+  reduced_failure : Oracle.failure option;  (** the failure of the reduced case *)
+}
+
+type stats = {
+  programs : int;
+  oracle_runs : int;
+  failures : int;
+  elapsed : float;
+}
+
+let classify (f : Oracle.failure) : Corpus.oracle_kind =
+  match f.Oracle.oracle with
+  | "qor-pipeline" -> Corpus.Qor_pipeline
+  | "qor-estimator" -> Corpus.Qor_estimator
+  | "dse-jobs" -> Corpus.Dse_jobs
+  | _ -> Corpus.Interp_diff
+
+(* Re-check predicate for the reducer, per oracle family. *)
+let still_fails_for ~prog_seed ~top kind (c : Reduce.candidate) =
+  let m = c.Reduce.module_ in
+  (match kind with
+  | Corpus.Interp_diff ->
+      Oracle.differential ~seed:prog_seed m ~top ~pipeline:c.Reduce.pipeline
+  | Corpus.Qor_pipeline -> Oracle.qor_pipelining_monotone m ~top
+  | Corpus.Qor_estimator -> Oracle.qor_estimator_agrees m ~top
+  | Corpus.Dse_jobs -> Oracle.dse_jobs_deterministic ~seed:prog_seed m ~top)
+  <> []
+
+let first_failure_of (c : Reduce.candidate) ~prog_seed ~top kind =
+  match
+    match kind with
+    | Corpus.Interp_diff ->
+        Oracle.differential ~seed:prog_seed c.Reduce.module_ ~top
+          ~pipeline:c.Reduce.pipeline
+    | Corpus.Qor_pipeline -> Oracle.qor_pipelining_monotone c.Reduce.module_ ~top
+    | Corpus.Qor_estimator -> Oracle.qor_estimator_agrees c.Reduce.module_ ~top
+    | Corpus.Dse_jobs ->
+        Oracle.dse_jobs_deterministic ~seed:prog_seed c.Reduce.module_ ~top
+  with
+  | f :: _ -> Some f
+  | [] -> None
+
+(** Run a campaign of [iters] programs from [seed]. [log] receives one-line
+    progress messages. Returns the campaign stats and all findings (one per
+    failing program: the first failure, reduced when [reduce] is set). *)
+let run ?(params = Gen.default_params) ?eps ?(dse_every = 0) ?(reduce = false)
+    ?(log = fun _ -> ()) ~seed ~iters () : stats * finding list =
+  let t0 = Unix.gettimeofday () in
+  let findings = ref [] in
+  let oracle_runs = ref 0 in
+  for i = 0 to iters - 1 do
+    let prog_seed = Rng.derive seed i in
+    let p = Gen.program ~params ~seed:prog_seed () in
+    let cfg = Gen.config p in
+    let top = p.Gen.top in
+    let failures =
+      let diff =
+        Oracle.differential ?eps ~seed:prog_seed p.Gen.module_ ~top
+          ~pipeline:cfg.Gen.pipeline
+      in
+      incr oracle_runs;
+      let qor =
+        Oracle.qor_pipelining_monotone p.Gen.module_ ~top
+        @ Oracle.qor_estimator_agrees p.Gen.module_ ~top
+      in
+      oracle_runs := !oracle_runs + 2;
+      let dse =
+        if dse_every > 0 && i mod dse_every = 0 then begin
+          incr oracle_runs;
+          Oracle.dse_jobs_deterministic ~seed:prog_seed p.Gen.module_ ~top
+        end
+        else []
+      in
+      diff @ qor @ dse
+    in
+    (match failures with
+    | [] -> ()
+    | failure :: _ ->
+        log
+          (Fmt.str "iter %d (prog seed %d): %a" i prog_seed Oracle.pp_failure failure);
+        let kind = classify failure in
+        let reduced, reduced_failure =
+          if not reduce then (None, None)
+          else begin
+            let c0 =
+              {
+                Reduce.module_ = p.Gen.module_;
+                pipeline =
+                  (match kind with Corpus.Interp_diff -> cfg.Gen.pipeline | _ -> []);
+              }
+            in
+            let still_fails = still_fails_for ~prog_seed ~top kind in
+            match Reduce.run ~still_fails c0 with
+            | o ->
+                let c = o.Reduce.reduced in
+                log
+                  (Fmt.str "  reduced: size %d -> %d in %d steps"
+                     o.Reduce.initial_size o.Reduce.final_size o.Reduce.steps);
+                (Some c, first_failure_of c ~prog_seed ~top kind)
+            | exception e ->
+                log (Fmt.str "  reduction failed: %s" (Printexc.to_string e));
+                (None, None)
+          end
+        in
+        findings := { prog_seed; oracle = kind; failure; reduced; reduced_failure } :: !findings);
+    if (i + 1) mod 50 = 0 then
+      log (Fmt.str "progress: %d/%d programs, %d findings" (i + 1) iters
+             (List.length !findings))
+  done;
+  let stats =
+    {
+      programs = iters;
+      oracle_runs = !oracle_runs;
+      failures = List.length !findings;
+      elapsed = Unix.gettimeofday () -. t0;
+    }
+  in
+  (stats, List.rev !findings)

@@ -1,0 +1,207 @@
+(** Differential and metamorphic oracles.
+
+    The differential oracle is the heart of the fuzzer: interpret a module
+    before and after each transform stage on identical seeded inputs and
+    demand bitwise-structural agreement of every output buffer up to a
+    relative epsilon ({!Mir.Float_compare}). The metamorphic QoR oracles
+    check model-level invariants that need no ground truth: pipelining never
+    worsens the virtual-synthesizer latency, the fast estimator and the
+    virtual synthesizer agree within a stated factor, and DSE results are
+    independent of the worker count.
+
+    All oracles return a (possibly empty) list of {!failure}s and never
+    raise: crashes inside passes, the verifier, or the interpreter are
+    themselves failures. *)
+
+open Mir
+open Scalehls
+
+type failure = {
+  oracle : string;  (** e.g. ["interp-diff"], ["qor-pipeline"] *)
+  stage : string option;  (** pass name the failure surfaced at, if any *)
+  detail : string;
+}
+
+let pp_failure fmt f =
+  Fmt.pf fmt "[%s%a] %s" f.oracle
+    Fmt.(option (fun fmt s -> Fmt.pf fmt " @@ %s" s))
+    f.stage f.detail
+
+let fail ?stage oracle fmt = Fmt.kstr (fun detail -> { oracle; stage; detail }) fmt
+
+(* ---- Seeded interpreter inputs -------------------------------------------- *)
+
+(* Deterministic argument vector for [top] of [m], derived from the function
+   signature: memrefs get pseudo-random float fills, scalars small values.
+   Buffers are freshly allocated per call (the interpreter mutates argument
+   buffers in place). *)
+let interp_args ~seed m ~top =
+  let f = Ir.find_func_exn m top in
+  let rng = Rng.create (Rng.derive seed 0x1a7) in
+  List.map
+    (fun (v : Ir.value) ->
+      match v.Ir.vty with
+      | Ty.Memref { shape; elt; _ } ->
+          Interp.VBuf
+            (Interp.buffer_init shape elt (fun _ ->
+                 float_of_int (Rng.int rng 65 - 32) /. 4.))
+      | ty when Ty.is_float ty ->
+          Interp.VFloat (float_of_int (Rng.int rng 33 - 16) /. 4.)
+      | _ -> Interp.VInt (Rng.int rng 9 - 4))
+    (Dialects.Func.func_args f)
+
+(* Observable outputs: every memref argument's data, concatenated in
+   argument order (the generated kernels return nothing and communicate
+   through argument buffers). *)
+let outputs_of_args args =
+  Array.concat
+    (List.filter_map
+       (function Interp.VBuf b -> Some b.Interp.data | _ -> None)
+       args)
+
+(** Interpret [top] of [m] on the seeded inputs and return the concatenated
+    output buffers. Raises whatever the interpreter raises. *)
+let run_outputs ~seed m ~top =
+  let args = interp_args ~seed m ~top in
+  let (_ : Interp.rvalue list) = Interp.run_func m top args in
+  outputs_of_args args
+
+(* ---- Differential oracle --------------------------------------------------- *)
+
+let verify_errors m =
+  match Verify.verify m with
+  | Ok () -> None
+  | Error es -> Some (Fmt.str "%a" Fmt.(list ~sep:(any "; ") Verify.pp_error) es)
+
+(** Run [m] through [pipeline] stage by stage; after every stage, verify the
+    module and compare its interpretation against the original's on the same
+    seeded inputs. Failures report the stage where the divergence first
+    appeared. *)
+let differential ?eps ~seed m ~top ~pipeline : failure list =
+  match verify_errors m with
+  | Some e -> [ fail "gen-verify" "generated module does not verify: %s" e ]
+  | None -> (
+      match run_outputs ~seed m ~top with
+      | exception e ->
+          [ fail "gen-interp" "generated module does not interpret: %s" (Printexc.to_string e) ]
+      | want ->
+          let _, failures =
+            List.fold_left
+              (fun (m, fs) name ->
+                if fs <> [] then (m, fs)
+                else
+                  match Transform_lib.find_pass name with
+                  | None -> (m, [ fail ~stage:name "pass-crash" "unknown pass" ])
+                  | Some p -> (
+                      match Pass.run_one p (Ir.Ctx.of_op m) m with
+                      | exception e ->
+                          (m, [ fail ~stage:name "pass-crash" "%s" (Printexc.to_string e) ])
+                      | m' -> (
+                          match verify_errors m' with
+                          | Some e ->
+                              (m', [ fail ~stage:name "pass-verify" "output does not verify: %s" e ])
+                          | None -> (
+                              match run_outputs ~seed m' ~top with
+                              | exception e ->
+                                  ( m',
+                                    [
+                                      fail ~stage:name "interp-error" "output does not interpret: %s"
+                                        (Printexc.to_string e);
+                                    ] )
+                              | got -> (
+                                  match Float_compare.compare_arrays ?eps want got with
+                                  | None -> (m', [])
+                                  | Some mm ->
+                                      ( m',
+                                        [
+                                          fail ~stage:name "interp-diff" "%a"
+                                            Float_compare.pp_mismatch mm;
+                                        ] ))))))
+              (m, []) pipeline
+          in
+          failures)
+
+(* ---- Metamorphic QoR oracles ----------------------------------------------- *)
+
+let synth_latency m ~top = Vhls.Synth.latency (Vhls.Synth.synthesize m ~top)
+
+(** Loop pipelining attaches directives that can only tighten the schedule:
+    the virtual synthesizer's latency after [loop-pipelining] must not exceed
+    the latency before it (plus [slack] cycles of modeling tolerance). *)
+let qor_pipelining_monotone ?(slack = 0) m ~top : failure list =
+  match Transform_lib.find_pass "loop-pipelining" with
+  | None -> []
+  | Some p -> (
+      try
+        let before = synth_latency m ~top in
+        let m' = Pass.run_one p (Ir.Ctx.of_op m) m in
+        let after = synth_latency m' ~top in
+        if after > before + slack then
+          [
+            fail ~stage:"loop-pipelining" "qor-pipeline"
+              "latency increased: %d -> %d (slack %d)" before after slack;
+          ]
+        else []
+      with e ->
+        [ fail ~stage:"loop-pipelining" "qor-pipeline" "crash: %s" (Printexc.to_string e) ])
+
+(** The fast estimator and the virtual synthesizer model the same QoR; they
+    must agree within a multiplicative [factor] (plus [abs_slack] cycles to
+    absorb fixed overheads on tiny kernels), in both directions. *)
+let qor_estimator_agrees ?(factor = 8.) ?(abs_slack = 64) m ~top : failure list =
+  try
+    let est = (Estimator.estimate m ~top).Estimator.latency in
+    let syn = synth_latency m ~top in
+    let bound x = int_of_float (factor *. float_of_int x) + abs_slack in
+    if est > bound syn || syn > bound est then
+      [
+        fail "qor-estimator" "estimator %d vs synth %d outside x%.1f+%d" est syn factor
+          abs_slack;
+      ]
+    else []
+  with e -> [ fail "qor-estimator" "crash: %s" (Printexc.to_string e) ]
+
+(* ---- DSE determinism oracle ------------------------------------------------- *)
+
+let point_eq (a : Dse.point) (b : Dse.point) =
+  a.Dse.lp = b.Dse.lp && a.Dse.rvb = b.Dse.rvb && a.Dse.perm = b.Dse.perm
+  && a.Dse.tiles = b.Dse.tiles && a.Dse.target_ii = b.Dse.target_ii
+
+let points_of (r : Dse.result) =
+  List.map (fun (e : Dse.evaluated) -> e.Dse.point) r.Dse.pareto
+
+(** A parallel DSE run must be bit-identical to the sequential one: same
+    explored count, same best point, same Pareto frontier. *)
+let dse_jobs_deterministic ?(samples = 4) ?(iterations = 6) ~seed m ~top : failure list =
+  try
+    let platform = Vhls.Platform.xc7z020 in
+    let run jobs =
+      Dse.run ~samples ~iterations ~seed ~jobs (Ir.Ctx.of_op m) m ~top ~platform
+    in
+    let r1 = run 1 in
+    let r2 = run 2 in
+    let best r =
+      Option.map (fun (e : Dse.evaluated) -> e.Dse.point) r.Dse.best
+    in
+    let fails = ref [] in
+    if r1.Dse.explored <> r2.Dse.explored then
+      fails :=
+        fail "dse-jobs" "explored differs: -j1 %d vs -j2 %d" r1.Dse.explored r2.Dse.explored
+        :: !fails;
+    (match (best r1, best r2) with
+    | None, None -> ()
+    | Some p1, Some p2 when point_eq p1 p2 -> ()
+    | b1, b2 ->
+        let pp fmt = function
+          | None -> Fmt.pf fmt "none"
+          | Some p -> Dse.pp_point fmt p
+        in
+        fails := fail "dse-jobs" "best differs: -j1 %a vs -j2 %a" pp b1 pp b2 :: !fails);
+    let p1 = points_of r1 and p2 = points_of r2 in
+    if List.length p1 <> List.length p2 || not (List.for_all2 point_eq p1 p2) then
+      fails :=
+        fail "dse-jobs" "pareto differs: -j1 %d points vs -j2 %d points" (List.length p1)
+          (List.length p2)
+        :: !fails;
+    List.rev !fails
+  with e -> [ fail "dse-jobs" "crash: %s" (Printexc.to_string e) ]

@@ -1,7 +1,15 @@
 (** A reference interpreter for the loop/directive-level IR (arith, memref,
-    affine, scf, func). Used throughout the test suite to prove that transform
+    affine, scf, func). Used throughout the test suite — and by the
+    differential fuzzing oracle ({!Fuzz.Oracle}) — to prove that transform
     passes preserve program semantics: run a function before and after a
-    transformation on the same inputs and compare the output memrefs. *)
+    transformation on the same inputs and compare the output memrefs.
+
+    Runtime value model: buffers store every element as a [float]; integer
+    memrefs hold integral floats and loads convert back through the result
+    type ({!scalar_of_ty}). That buffer-side conversion is the only implicit
+    coercion — scalar SSA values are strictly kinded, and using an integer
+    where a float is required (or vice versa) raises a typed
+    {!Interp_error}. *)
 
 open Ir
 
@@ -13,9 +21,33 @@ type rvalue =
 
 and buffer = { shape : int list; data : float array; belt : Ty.t }
 
-exception Interp_error of string
+(** What went wrong, machine-checkably: oracles and tests dispatch on the
+    kind, messages carry the details. *)
+type error_kind =
+  | Type_error  (** a value had the wrong runtime kind for the op *)
+  | Bounds_error  (** memory access outside the buffer *)
+  | Div_by_zero  (** integer division/remainder by zero *)
+  | Unbound_value  (** use of an SSA value with no binding *)
+  | Malformed_op  (** op structure violates the dialect encoding *)
+  | Unsupported_op  (** operation outside the interpreter's coverage *)
 
-let error fmt = Fmt.kstr (fun s -> raise (Interp_error s)) fmt
+let error_kind_to_string = function
+  | Type_error -> "type error"
+  | Bounds_error -> "out of bounds"
+  | Div_by_zero -> "division by zero"
+  | Unbound_value -> "unbound value"
+  | Malformed_op -> "malformed op"
+  | Unsupported_op -> "unsupported op"
+
+exception Interp_error of error_kind * string
+
+let () =
+  Printexc.register_printer (function
+    | Interp_error (k, msg) ->
+        Some (Printf.sprintf "Interp_error(%s: %s)" (error_kind_to_string k) msg)
+    | _ -> None)
+
+let error kind fmt = Fmt.kstr (fun s -> raise (Interp_error (kind, s))) fmt
 
 let alloc_buffer shape belt =
   { shape; data = Array.make (max 1 (Ty.num_elements shape)) 0.; belt }
@@ -31,23 +63,34 @@ let linearize shape idxs =
     match (shape, idxs) with
     | [], [] -> acc
     | s :: shape, i :: idxs ->
-        if i < 0 || i >= s then error "index %d out of bounds (dim size %d)" i s;
+        if i < 0 || i >= s then
+          error Bounds_error "index %d out of bounds (dim size %d)" i s;
         go shape idxs ((acc * s) + i)
-    | _ -> error "rank mismatch in memory access"
+    | _ -> error Malformed_op "rank mismatch in memory access"
   in
   go shape idxs 0
 
+let kind_of_rvalue = function
+  | VInt _ -> "int"
+  | VFloat _ -> "float"
+  | VBuf _ -> "memref"
+  | VUnit -> "unit"
+
+(* Strict projections: no implicit int<->float coercion of SSA values. A
+   float where an integer is required (or vice versa) indicates a
+   miscompiled/ill-typed program, exactly what the fuzzing oracle wants
+   surfaced as a typed error rather than silently rounded away. *)
 let as_int = function
   | VInt i -> i
-  | VFloat f -> int_of_float f
-  | VBuf _ | VUnit -> error "expected integer value"
+  | v -> error Type_error "expected an integer value, got %s" (kind_of_rvalue v)
 
 let as_float = function
   | VFloat f -> f
-  | VInt i -> float_of_int i
-  | VBuf _ | VUnit -> error "expected float value"
+  | v -> error Type_error "expected a float value, got %s" (kind_of_rvalue v)
 
-let as_buf = function VBuf b -> b | _ -> error "expected memref value"
+let as_buf = function
+  | VBuf b -> b
+  | v -> error Type_error "expected a memref value, got %s" (kind_of_rvalue v)
 
 type t = {
   env : (int, rvalue) Hashtbl.t;
@@ -61,8 +104,11 @@ let bind st v rv = Hashtbl.replace st.env v.vid rv
 let lookup st v =
   match Hashtbl.find_opt st.env v.vid with
   | Some rv -> rv
-  | None -> error "unbound value %%%d" v.vid
+  | None -> error Unbound_value "unbound value %%%d" v.vid
 
+(* Buffer-side conversions (the documented exception to strictness): buffers
+   physically store floats, so loads re-type through the result type and
+   stores flatten scalars to float. *)
 let scalar_of_ty ty f =
   if Ty.is_float ty then VFloat f
   else VInt (int_of_float f)
@@ -70,7 +116,8 @@ let scalar_of_ty ty f =
 let float_of_scalar = function
   | VFloat f -> f
   | VInt i -> float_of_int i
-  | VBuf _ | VUnit -> error "expected scalar"
+  | (VBuf _ | VUnit) as v ->
+      error Type_error "expected a scalar to store, got %s" (kind_of_rvalue v)
 
 (* Evaluate affine map operands: all must be integers (index values). *)
 let eval_map st map operands =
@@ -90,7 +137,7 @@ let cmp_int pred a b =
   | "sle" | "ule" -> a <= b
   | "sgt" | "ugt" -> a > b
   | "sge" | "uge" -> a >= b
-  | p -> error "unknown cmpi predicate %s" p
+  | p -> error Unsupported_op "unknown cmpi predicate %s" p
 
 let cmp_float pred a b =
   match pred with
@@ -100,7 +147,7 @@ let cmp_float pred a b =
   | "ole" | "ule" -> a <= b
   | "ogt" | "ugt" -> a > b
   | "oge" | "uge" -> a >= b
-  | p -> error "unknown cmpf predicate %s" p
+  | p -> error Unsupported_op "unknown cmpf predicate %s" p
 
 let rec exec_op st (o : op) : unit =
   let opnd i = List.nth o.operands i in
@@ -114,7 +161,7 @@ let rec exec_op st (o : op) : unit =
       | Attr.Int i ->
           bind_result (if Ty.is_float (result o).vty then VFloat (float_of_int i) else VInt i)
       | Attr.Float f -> bind_result (VFloat f)
-      | _ -> error "arith.constant: bad value attr")
+      | _ -> error Malformed_op "arith.constant: bad value attr")
   | "arith.addf" -> binf ( +. )
   | "arith.subf" -> binf ( -. )
   | "arith.mulf" -> binf ( *. )
@@ -125,8 +172,26 @@ let rec exec_op st (o : op) : unit =
   | "arith.addi" -> bini ( + )
   | "arith.subi" -> bini ( - )
   | "arith.muli" -> bini ( * )
-  | "arith.divi" -> bini (fun a b -> if b = 0 then error "division by zero" else a / b)
-  | "arith.remi" -> bini (fun a b -> if b = 0 then error "modulo by zero" else a mod b)
+  (* Integer division semantics (documented, matching MLIR):
+     - [arith.divi]  = signed division rounding toward zero (arith.divsi);
+     - [arith.remi]  = signed remainder taking the sign of the dividend
+       (arith.remsi) — OCaml's [(/)] and [(mod)];
+     - [arith.floordivi] / [arith.ceildivi] = signed division rounding toward
+       -inf / +inf (arith.floordivsi / arith.ceildivsi), the forms affine
+       lowering produces.
+     A zero divisor raises a typed [Div_by_zero] error in all four. *)
+  | "arith.divi" ->
+      bini (fun a b -> if b = 0 then error Div_by_zero "arith.divi: %d / 0" a else a / b)
+  | "arith.remi" ->
+      bini (fun a b -> if b = 0 then error Div_by_zero "arith.remi: %d mod 0" a else a mod b)
+  | "arith.floordivi" ->
+      bini (fun a b ->
+          if b = 0 then error Div_by_zero "arith.floordivi: %d / 0" a
+          else Affine.Expr.floor_div a b)
+  | "arith.ceildivi" ->
+      bini (fun a b ->
+          if b = 0 then error Div_by_zero "arith.ceildivi: %d / 0" a
+          else Affine.Expr.ceil_div a b)
   | "arith.maxi" -> bini max
   | "arith.mini" -> bini min
   | "arith.andi" -> bini ( land )
@@ -186,7 +251,7 @@ let rec exec_op st (o : op) : unit =
   | "affine.apply" -> (
       match eval_map st (map_attr o "map") o.operands with
       | [ r ] -> bind_result (VInt r)
-      | _ -> error "affine.apply: map must have one result")
+      | _ -> error Malformed_op "affine.apply: map must have one result")
   | "affine.min" ->
       let rs = eval_map st (map_attr o "map") o.operands in
       bind_result (VInt (List.fold_left min max_int rs))
@@ -205,7 +270,7 @@ let rec exec_op st (o : op) : unit =
       let ub = List.fold_left min max_int (eval_map st ub_map ub_opnds) in
       let step = int_attr o "step" in
       let body = body_block o in
-      let iv = match body.bargs with [ iv ] -> iv | _ -> error "affine.for: bad body args" in
+      let iv = match body.bargs with [ iv ] -> iv | _ -> error Malformed_op "affine.for: bad body args" in
       let i = ref lb in
       while !i < ub do
         bind st iv (VInt !i);
@@ -215,7 +280,7 @@ let rec exec_op st (o : op) : unit =
   | "scf.for" ->
       let lb = as_int (v 0) and ub = as_int (v 1) and step = as_int (v 2) in
       let body = body_block o in
-      let iv = match body.bargs with [ iv ] -> iv | _ -> error "scf.for: bad body args" in
+      let iv = match body.bargs with [ iv ] -> iv | _ -> error Malformed_op "scf.for: bad body args" in
       let i = ref lb in
       while !i < ub do
         bind st iv (VInt !i);
@@ -239,23 +304,23 @@ let rec exec_op st (o : op) : unit =
       let f =
         match find_func st.module_ callee with
         | Some f -> f
-        | None -> error "call to unknown function %s" callee
+        | None -> error Malformed_op "call to unknown function %s" callee
       in
       let args = List.map (lookup st) o.operands in
       let rets = call_func st f args in
       List.iter2 (bind st) o.results rets
   | "func.return" -> raise (Returned (List.map (lookup st) o.operands))
   | "affine.yield" | "scf.yield" -> ()
-  | name -> error "interp: unsupported operation %s" name
+  | name -> error Unsupported_op "interp: unsupported operation %s" name
 
 and call_func st f args =
   let body =
     match f.regions with
     | [ [ b ] ] -> b
-    | _ -> error "func %s: expected single-block body" (func_name f)
+    | _ -> error Malformed_op "func %s: expected single-block body" (func_name f)
   in
   (if List.length body.bargs <> List.length args then
-     error "func %s: arity mismatch" (func_name f));
+     error Malformed_op "func %s: arity mismatch" (func_name f));
   List.iter2 (bind st) body.bargs args;
   try
     List.iter (exec_op st) body.bops;
@@ -269,7 +334,7 @@ let run_func module_ name args =
   let f =
     match find_func module_ name with
     | Some f -> f
-    | None -> error "no function named %s" name
+    | None -> error Malformed_op "no function named %s" name
   in
   call_func st f args
 

@@ -18,6 +18,7 @@ let expected_regions = function
   | "affine.if" | "scf.if" -> Some 2
   | "arith.constant" | "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf"
   | "arith.addi" | "arith.subi" | "arith.muli" | "arith.divi" | "arith.remi"
+  | "arith.floordivi" | "arith.ceildivi"
   | "arith.cmpi" | "arith.cmpf" | "arith.select" | "arith.index_cast"
   | "arith.sitofp" | "arith.fptosi" | "arith.extf" | "arith.truncf"
   | "arith.negf" | "arith.maxf" | "arith.minf" | "arith.maxi" | "arith.mini"

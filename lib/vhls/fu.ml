@@ -18,7 +18,8 @@ let op_cost name =
   | "arith.negf" -> { delay = 1; dsp = 0; lut = 32; ff = 32 }
   | "arith.maxf" | "arith.minf" | "arith.cmpf" -> { delay = 2; dsp = 0; lut = 66; ff = 66 }
   | "arith.muli" -> { delay = 3; dsp = 1; lut = 20; ff = 20 } (* narrow int8 MAC: one DSP48 *)
-  | "arith.divi" | "arith.remi" -> { delay = 18; dsp = 0; lut = 650; ff = 750 }
+  | "arith.divi" | "arith.remi" | "arith.floordivi" | "arith.ceildivi" ->
+      { delay = 18; dsp = 0; lut = 650; ff = 750 }
   | "arith.addi" | "arith.subi" | "arith.cmpi" | "arith.maxi" | "arith.mini"
   | "arith.andi" | "arith.ori" | "arith.xori" | "arith.shli" | "arith.shri" ->
       { delay = 1; dsp = 0; lut = 32; ff = 16 }
@@ -46,8 +47,8 @@ let iter_overhead = 1
 let is_fu_op name =
   match name with
   | "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" | "arith.muli"
-  | "arith.divi" | "arith.remi" | "math.exp" | "math.log" | "math.sqrt"
-  | "math.tanh" -> true
+  | "arith.divi" | "arith.remi" | "arith.floordivi" | "arith.ceildivi"
+  | "math.exp" | "math.log" | "math.sqrt" | "math.tanh" -> true
   | _ -> false
 
 (** BRAM-18K blocks for one physical bank holding [bits] of data. A bank

@@ -12,4 +12,5 @@ let () =
       Test_emit.suite;
       Test_lower.suite;
       Test_qor_ml.suite;
+      Test_fuzz.suite;
     ]
