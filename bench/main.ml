@@ -55,12 +55,16 @@ let partition_string kernel f =
   in
   String.concat " " (List.filter_map Fun.id parts)
 
-let run_kernel_dse ?(jobs = 1) ?(seed = 42) ~size ~samples ~iterations kernel =
+let run_kernel_dse ?(jobs = 1) ?(seed = 42) ?(symbolic = true) ~size ~samples
+    ~iterations kernel =
   let ctx = Ir.Ctx.create () in
   let top = Models.Polybench.name kernel in
   let m = Pipeline.compile_c ctx (Models.Polybench.source kernel ~n:size) in
   let t0 = Unix.gettimeofday () in
-  let r = Dse.run ~samples ~iterations ~seed ~jobs ctx m ~top ~platform:P.xc7z020 in
+  let r =
+    Dse.run ~samples ~iterations ~seed ~jobs ~symbolic ctx m ~top
+      ~platform:P.xc7z020
+  in
   let dse_time = Unix.gettimeofday () -. t0 in
   let base = Vhls.Synth.synthesize m ~top in
   (m, r, base, dse_time)
@@ -303,14 +307,17 @@ let dse_ablation ~budget () =
 
 (* Measures the parallel, memoizing DSE engine against the sequential
    baseline on one kernel, verifies that both arms return the identical
-   Pareto frontier (the engine's determinism guarantee), and records the
-   perf trajectory in machine-readable BENCH_dse.json. *)
+   Pareto frontier (the engine's determinism guarantee), runs a
+   symbolic-vs-materialized evaluation arm over the same seed and space, and
+   records the perf trajectory in machine-readable BENCH_dse.json. *)
 let dse_bench ?(jobs = 0) ~size ~budget () =
   header (Printf.sprintf "Parallel DSE bench (gemm, size %d)" size);
   let kernel = Models.Polybench.Gemm in
   let samples = 24 * budget and iterations = 48 * budget in
-  let arm ~jobs =
-    let _, r, _, wall = run_kernel_dse ~jobs ~size ~samples ~iterations kernel in
+  let arm ?symbolic ~jobs () =
+    let _, r, _, wall =
+      run_kernel_dse ?symbolic ~jobs ~size ~samples ~iterations kernel
+    in
     (r, wall)
   in
   let frontier_sig r =
@@ -318,8 +325,8 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
       (fun p -> (p.Dse.point, p.Dse.estimate.Estimator.latency, Dse.area_of p.Dse.estimate))
       r.Dse.pareto
   in
-  let r1, t1 = arm ~jobs:1 in
-  let rn, tn = arm ~jobs in
+  let r1, t1 = arm ~jobs:1 () in
+  let rn, tn = arm ~jobs () in
   let jobs_eff = rn.Dse.stats.Dse.jobs in
   let frontier_match = frontier_sig r1 = frontier_sig rn && r1.Dse.explored = rn.Dse.explored in
   let pps r t = float_of_int r.Dse.explored /. Float.max 1e-9 t in
@@ -332,6 +339,26 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
     rn.Dse.stats.Dse.cache_misses;
   if not frontier_match then
     Fmt.epr "WARNING: parallel DSE diverged from the sequential baseline@.";
+  (* Symbolic vs materialized: same seed, same space, sequential both ways.
+     The symbolic arm is r1; re-run with the materialized evaluator. *)
+  let rm, tm = arm ~symbolic:false ~jobs:1 () in
+  let symbolic_frontier_match =
+    frontier_sig r1 = frontier_sig rm && r1.Dse.explored = rm.Dse.explored
+  in
+  Fmt.pr "materialized: %d points in %5.2fs (%.1f points/s)@." rm.Dse.explored tm
+    (pps rm tm);
+  Fmt.pr "symbolic  : %.2fx vs materialized   frontier match: %b   fallbacks: %d/%d@."
+    (tm /. Float.max 1e-9 t1)
+    symbolic_frontier_match r1.Dse.stats.Dse.fallback_points
+    r1.Dse.stats.Dse.symbolic_points;
+  if not symbolic_frontier_match then
+    Fmt.epr "WARNING: symbolic evaluation diverged from the materialized baseline@.";
+  let profile_json =
+    String.concat ", "
+      (List.map
+         (fun (stage, secs) -> Printf.sprintf "\"%s\": %.3f" stage secs)
+         r1.Dse.stats.Dse.stage_seconds)
+  in
   let oc = open_out "BENCH_dse.json" in
   Printf.fprintf oc
     {|{
@@ -345,7 +372,17 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
   "parallel": { "jobs": %d, "wall_s": %.3f, "points": %d, "points_per_sec": %.2f },
   "speedup": %.3f,
   "frontier_match": %b,
-  "cache": { "pre_hits": %d, "pre_misses": %d, "eval_hits": %d, "eval_misses": %d }
+  "cache": { "pre_hits": %d, "pre_misses": %d, "eval_hits": %d, "eval_misses": %d },
+  "symbolic_vs_materialized": {
+    "symbolic_wall_s": %.3f,
+    "materialized_wall_s": %.3f,
+    "speedup": %.3f,
+    "symbolic_frontier_match": %b,
+    "symbolic_points": %d,
+    "fallback_points": %d,
+    "est_memo_hits": %d
+  },
+  "profile_s": { %s }
 }
 |}
     (Models.Polybench.name kernel)
@@ -354,7 +391,10 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
     t1 r1.Dse.explored (pps r1 t1) jobs_eff tn rn.Dse.explored (pps rn tn)
     (t1 /. Float.max 1e-9 tn)
     frontier_match rn.Dse.stats.Dse.pre_hits rn.Dse.stats.Dse.pre_misses
-    rn.Dse.stats.Dse.cache_hits rn.Dse.stats.Dse.cache_misses;
+    rn.Dse.stats.Dse.cache_hits rn.Dse.stats.Dse.cache_misses t1 tm
+    (tm /. Float.max 1e-9 t1)
+    symbolic_frontier_match r1.Dse.stats.Dse.symbolic_points
+    r1.Dse.stats.Dse.fallback_points r1.Dse.stats.Dse.est_memo_hits profile_json;
   close_out oc;
   Fmt.pr "@.wrote BENCH_dse.json@."
 

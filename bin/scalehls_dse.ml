@@ -21,7 +21,8 @@ let platform_of_name = function
       Fmt.epr "unknown platform %s (xc7z020 | vu9p-slr)@." p;
       exit 2
 
-let run input kernel size top platform samples iterations seed jobs emit =
+let run input kernel size top platform samples iterations seed jobs symbolic
+    profile emit =
   let ctx = Ir.Ctx.create () in
   let src, top =
     match (input, kernel) with
@@ -42,13 +43,23 @@ let run input kernel size top platform samples iterations seed jobs emit =
   let platform = platform_of_name platform in
   let m = Pipeline.compile_c ctx src in
   let t0 = Unix.gettimeofday () in
-  let r = Dse.run ~samples ~iterations ~seed ~jobs ctx m ~top ~platform in
+  let r = Dse.run ~samples ~iterations ~seed ~jobs ~symbolic ctx m ~top ~platform in
   let dt = Unix.gettimeofday () -. t0 in
   Fmt.pr "explored %d design points in %.2fs (%.1f points/s, %d worker%s)@."
     r.Dse.explored dt
     (float_of_int r.Dse.explored /. Float.max 1e-9 dt)
     r.Dse.stats.Dse.jobs
     (if r.Dse.stats.Dse.jobs = 1 then "" else "s");
+  if profile then begin
+    let s = r.Dse.stats in
+    Fmt.pr "evaluation : %d symbolic, %d fallback, %d estimator-memo hit%s@."
+      s.Dse.symbolic_points s.Dse.fallback_points s.Dse.est_memo_hits
+      (if s.Dse.est_memo_hits = 1 then "" else "s");
+    Fmt.pr "per stage  :@.";
+    List.iter
+      (fun (stage, secs) -> Fmt.pr "  %-10s %6.2fs@." stage secs)
+      s.Dse.stage_seconds
+  end;
   (match r.Dse.best with
   | Some b ->
       let base = Vhls.Synth.synthesize m ~top in
@@ -91,11 +102,33 @@ let jobs =
           "Worker domains for parallel point evaluation (1 = sequential, 0 = \
            one per core). The result is identical for any value: same seed, \
            same frontier.")
+let symbolic =
+  Term.app (Term.const not)
+    Arg.(
+      value & flag
+      & info [ "no-symbolic-eval" ]
+          ~doc:
+            "Evaluate every design point by materializing the fully-unrolled \
+             body instead of the (default) symbolic unroll model. The two \
+             paths produce identical results; this flag exists as an escape \
+             hatch and for benchmarking the speedup.")
+
+let profile =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Print a per-stage wall-time breakdown of the exploration \
+           (transform, unroll, cleanup, partition, estimate, pareto) plus \
+           symbolic/fallback evaluation counters.")
+
 let emit = Arg.(value & opt (some string) None & info [ "emit" ] ~docv:"OUT.cpp" ~doc:"Emit optimized HLS C++")
 
 let cmd =
   let doc = "ScaleHLS automated design space exploration" in
   Cmd.v (Cmd.info "scalehls-dse" ~doc)
-    Term.(const run $ input $ kernel $ size $ top $ platform $ samples $ iterations $ seed $ jobs $ emit)
+    Term.(
+      const run $ input $ kernel $ size $ top $ platform $ samples $ iterations
+      $ seed $ jobs $ symbolic $ profile $ emit)
 
 let () = exit (Cmd.eval' cmd)

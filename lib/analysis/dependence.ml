@@ -81,11 +81,12 @@ let linear_form ~num_dims (a : Mem_access.t) =
     [A·I + k_src = A·(I + delta) + k_dst] gives [A·delta = k_src - k_dst];
     dims appearing with nonzero coefficient get a forced delta, dims absent
     from every row are free ([Star]). *)
-let dependence ~num_dims (src : Mem_access.t) (dst : Mem_access.t) =
+let dependence_forms ~num_dims (src : Mem_access.t) forms_src
+    (dst : Mem_access.t) forms_dst =
   if src.Mem_access.memref.Ir.vid <> dst.Mem_access.memref.Ir.vid then None
   else if not (src.Mem_access.is_store || dst.Mem_access.is_store) then None
   else
-    match (linear_form ~num_dims src, linear_form ~num_dims dst) with
+    match (forms_src, forms_dst) with
     | Some rows_s, Some rows_d ->
         let coeffs_equal =
           List.for_all2 (fun (cs, _) (cd, _) -> cs = cd) rows_s rows_d
@@ -107,54 +108,60 @@ let dependence ~num_dims (src : Mem_access.t) (dst : Mem_access.t) =
           else Some (List.init num_dims (fun _ -> Star))
         else
           (* Uniform: per band dim j, collect the forced delta_j if some row
-             has a nonzero coefficient on j. *)
-          let b = List.map2 (fun (_, ks) (_, kd) -> ks - kd) rows_s rows_d in
+             has a nonzero coefficient on j. Allocation-free inner loops:
+             this runs once per ordered same-memref access pair, which is
+             quadratic in the body's access count on wide unrolled bodies. *)
           let exception Independent in
-          let dirs () =
-            List.init num_dims (fun j ->
-                (* rows constraining dim j *)
-                let constraining =
-                  List.filteri (fun _ ((cs : int array), _) -> cs.(j) <> 0)
-                    (List.map2 (fun (cs, _) bd -> (cs, bd)) rows_s b)
-                in
-                match constraining with
-                | [] -> Star
-                | _ -> (
-                    (* Tentatively solve assuming all other deltas are 0:
-                       cs.(j) * delta_j = bd for each row where only dim j
-                       appears; if a row has several nonzero coeffs we cannot
-                       isolate — fall back to Star. *)
-                    let sole =
-                      List.filter_map
-                        (fun ((cs : int array), bd) ->
-                          let others =
-                            Array.exists (fun k -> k <> 0)
-                              (Array.mapi (fun i c -> if i = j then 0 else c) cs)
-                          in
-                          if others then None
-                          else if bd mod cs.(j) = 0 then Some (bd / cs.(j))
-                          else raise Independent)
-                        constraining
-                    in
-                    match List.sort_uniq compare sole with
-                    | [] -> Star
-                    | [ d ] -> if d = 0 then Eq else Lt d
-                    | _ -> raise Independent))
+          let rows =
+            List.map2 (fun (cs, ks) (_, kd) -> (cs, ks - kd)) rows_s rows_d
+          in
+          let dir_of j =
+            (* Tentatively solve assuming all other deltas are 0:
+               cs.(j) * delta_j = bd for each row where only dim j appears;
+               a row with several nonzero coeffs cannot isolate — Star. *)
+            let seen = ref false and forced = ref 0 in
+            List.iter
+              (fun ((cs : int array), bd) ->
+                if cs.(j) <> 0 then begin
+                  let others = ref false in
+                  Array.iteri
+                    (fun i c -> if i <> j && c <> 0 then others := true)
+                    cs;
+                  if not !others then
+                    if bd mod cs.(j) <> 0 then raise Independent
+                    else begin
+                      let d = bd / cs.(j) in
+                      if !seen then begin
+                        if d <> !forced then raise Independent
+                      end
+                      else begin
+                        seen := true;
+                        forced := d
+                      end
+                    end
+                end)
+              rows;
+            if not !seen then Star else if !forced = 0 then Eq else Lt !forced
           in
           (try
-             let ds = dirs () in
+             let ds = List.init num_dims dir_of in
              (* Rows with coefficient only outside j were ignored; check the
                 pure-constant rows: coeffs all zero -> need b = 0. *)
              let const_rows_ok =
-               List.for_all2
-                 (fun ((cs : int array), _) bd ->
-                   Array.for_all (fun c -> c = 0) cs = false || bd = 0)
-                 (List.map2 (fun (cs, _) bd -> (cs, bd)) rows_s b)
-                 b
+               List.for_all
+                 (fun ((cs : int array), bd) ->
+                   Array.exists (fun c -> c <> 0) cs || bd = 0)
+                 rows
              in
              if const_rows_ok then Some ds else None
            with Independent -> None)
     | _ -> Some (List.init num_dims (fun _ -> Star))
+
+let dependence ~num_dims (src : Mem_access.t) (dst : Mem_access.t) =
+  dependence_forms ~num_dims src
+    (linear_form ~num_dims src)
+    dst
+    (linear_form ~num_dims dst)
 
 (* ---- Guard- and domain-aware refinement ----------------------------------- *)
 
@@ -259,26 +266,30 @@ let refine_star_dep ~num_dims ~ranges (dep : dep) =
     dim) enables the guard-aware Fourier-Motzkin refinement of non-uniform
     dependences. *)
 let all_deps ?ranges ~num_dims accs =
+  (* Linear forms are a pure function of the access: compute each once
+     instead of once per ordered pair (the dominant cost on wide unrolled
+     bodies with hundreds of accesses). *)
+  let forms = List.map (fun a -> (a, linear_form ~num_dims a)) accs in
   List.concat_map
-    (fun src ->
+    (fun (src, fs) ->
       List.filter_map
-        (fun dst ->
+        (fun (dst, fd) ->
           if src == dst then None
           else
-            match dependence ~num_dims src dst with
+            match dependence_forms ~num_dims src fs dst fd with
             | Some dirs -> Some { src; dst; dirs }
             | None -> None)
-        accs)
-    accs
+        forms)
+    forms
   @ List.filter_map
-      (fun a ->
+      (fun (a, fa) ->
         (* Self-dependence of a store with itself across iterations. *)
         if a.Mem_access.is_store then
-          match dependence ~num_dims a a with
+          match dependence_forms ~num_dims a fa a fa with
           | Some dirs -> Some { src = a; dst = a; dirs }
           | None -> None
         else None)
-      accs
+      forms
   |> fun deps ->
   match ranges with
   | None -> deps

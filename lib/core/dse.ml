@@ -54,7 +54,86 @@ type stats = {
   pre_misses : int;  (** ... and misses (≤ 4: one per combo) *)
   cache_hits : int;  (** evaluation-cache hits (re-proposed points) *)
   cache_misses : int;  (** points actually evaluated *)
+  symbolic_points : int;  (** points evaluated through the symbolic path *)
+  fallback_points : int;  (** symbolic bail-outs re-run materialized *)
+  est_memo_hits : int;  (** estimator memo hits (fingerprint-identical modules) *)
+  stage_seconds : (string * float) list;
+      (** cumulative per-stage wall time across all evaluations:
+          transform / unroll / cleanup / partition / estimate / pareto *)
 }
+
+(* ---- Per-evaluation instrumentation --------------------------------------- *)
+
+(** Wall-time tally of one point evaluation (single-threaded: each evaluation
+    owns its tally and merges it into the shared {!instr} when done). *)
+type tally = {
+  mutable t_transform : float;  (** permute + tile + pipeline annotation *)
+  mutable t_unroll : float;  (** materialized unroll or symbolic expansion *)
+  mutable t_cleanup : float;  (** cleanup pass pipelines *)
+  mutable t_partition : float;  (** array partitioning + final canonicalize *)
+  mutable t_estimate : float;
+  mutable t_symbolic : bool;  (** evaluated through the symbolic path *)
+  mutable t_fallback : bool;  (** symbolic bailed out; materialized re-run *)
+}
+
+let tally_zero () =
+  {
+    t_transform = 0.;
+    t_unroll = 0.;
+    t_cleanup = 0.;
+    t_partition = 0.;
+    t_estimate = 0.;
+    t_symbolic = false;
+    t_fallback = false;
+  }
+
+(** Shared run-wide instrumentation; worker domains merge tallies under the
+    lock. *)
+type instr = {
+  lock : Mutex.t;
+  mutable s_transform : float;
+  mutable s_unroll : float;
+  mutable s_cleanup : float;
+  mutable s_partition : float;
+  mutable s_estimate : float;
+  mutable s_pareto : float;
+  mutable n_symbolic : int;
+  mutable n_fallback : int;
+}
+
+let instr_create () =
+  {
+    lock = Mutex.create ();
+    s_transform = 0.;
+    s_unroll = 0.;
+    s_cleanup = 0.;
+    s_partition = 0.;
+    s_estimate = 0.;
+    s_pareto = 0.;
+    n_symbolic = 0;
+    n_fallback = 0;
+  }
+
+let instr_merge (i : instr) (t : tally) =
+  Mutex.lock i.lock;
+  i.s_transform <- i.s_transform +. t.t_transform;
+  i.s_unroll <- i.s_unroll +. t.t_unroll;
+  i.s_cleanup <- i.s_cleanup +. t.t_cleanup;
+  i.s_partition <- i.s_partition +. t.t_partition;
+  i.s_estimate <- i.s_estimate +. t.t_estimate;
+  if t.t_symbolic then i.n_symbolic <- i.n_symbolic + 1;
+  if t.t_fallback then i.n_fallback <- i.n_fallback + 1;
+  Mutex.unlock i.lock
+
+let instr_stages (i : instr) =
+  [
+    ("transform", i.s_transform);
+    ("unroll", i.s_unroll);
+    ("cleanup", i.s_cleanup);
+    ("partition", i.s_partition);
+    ("estimate", i.s_estimate);
+    ("pareto", i.s_pareto);
+  ]
 
 type result = {
   best : evaluated option;  (** lowest latency among feasible points *)
@@ -117,13 +196,22 @@ let preprocess ctx m ~lp ~rvb =
   in
   Pass.run_pipeline pre ctx m
 
-(** Apply the per-point tail of a design point to the already-preprocessed
-    module [m]: permute + tile + pipeline the main band, clean up, derive
-    array partitioning. Raises [Inapplicable] when e.g. the permutation is
-    illegal for this point's preprocessing. *)
-let apply_preprocessed ctx m ~top (pt : point) : Ir.op =
+(* Passes replayed on the symbolically-expanded module: the full
+   [cleanup_passes] pipeline, re-run over the expanded clones. The rolled
+   module already went through it, so the per-template rewrites are baked in
+   and the leading canonicalize converges immediately; the replay performs
+   exactly the cross-iteration work the materialized path does on its
+   unrolled body — resolving per-clone guards (each clone's if-set now has
+   the point constants folded in), store forwarding along the
+   point-iteration chain, memref simplification, CSE across clones, and the
+   final canonicalize. *)
+let expand_cleanup_passes = cleanup_passes
+
+(** Stage 1 of point application, shared by both evaluation modes: permute
+    and tile the main band. Raises [Inapplicable] when e.g. the permutation
+    is illegal for this point's preprocessing. *)
+let permute_tile ctx m ~top (pt : point) : Ir.op =
   let f = Ir.find_func_exn m top in
-  (* Permute + tile + unroll the main band. *)
   let f =
     on_main_band f (fun band ->
         let n = List.length band in
@@ -149,39 +237,99 @@ let apply_preprocessed ctx m ~top (pt : point) : Ir.op =
         | Some root' -> root'
         | None -> root)
   in
-  let m = Ir.replace_func m f in
-  (* Fully unroll the intra-tile point loops: pipelining's legalization does
-     this for everything nested under the pipeline target; the target is the
-     innermost *original* loop, i.e. at depth n-1 of the tiled band. *)
+  Ir.replace_func m f
+
+(* Stage 2: pipeline every top-level band at the point's depth — either the
+   materialized transform (full nested unroll) or its annotation-only twin
+   for the symbolic path. The pipeline target is the innermost *original*
+   loop, i.e. depth n-1 of the tiled band; the intra-tile point loops sit
+   below it. *)
+let pipeline_tops ctx m ~top (pt : point) ~annotate : Ir.op =
   let f = Ir.find_func_exn m top in
   let f =
     Ir.with_body f
       (List.map
          (fun o ->
            if Affine_d.is_for o then begin
-             (* The pipeline target is the innermost *original* loop, i.e.
-                depth n-1 of the tiled band; the intra-tile point loops sit
-                below it and are fully unrolled by pipeline legalization. *)
              let band = Affine_d.band o in
              let depth = List.length pt.perm - 1 in
              let depth = min depth (List.length band - 1) in
-             match Loop_pipeline.pipeline_band ctx ~target_ii:pt.target_ii ~depth o with
-             | Some o' -> o'
-             | None -> raise Inapplicable
+             let r =
+               if annotate then
+                 Loop_pipeline.annotate_band ~target_ii:pt.target_ii ~depth o
+               else
+                 Loop_pipeline.pipeline_band ctx ~target_ii:pt.target_ii ~depth o
+             in
+             match r with Some o' -> o' | None -> raise Inapplicable
            end
            else o)
          (Func.func_body f))
   in
-  let m = Ir.replace_func m f in
-  let m = Pass.run_pipeline cleanup_passes ctx m in
-  let m = Array_partition.run ctx m in
-  Pass.run_pipeline [ Canonicalize.pass ] ctx m
+  Ir.replace_func m f
+
+(** Apply the per-point tail of a design point to the already-preprocessed
+    module [m]: permute + tile + pipeline the main band, clean up, derive
+    array partitioning. Raises [Inapplicable] when e.g. the permutation is
+    illegal for this point's preprocessing.
+
+    [symbolic] (the default) runs the cleanup on the small rolled module and
+    expands the intra-tile iterations analytically ({!Unroll_model}),
+    falling back to the materialized transform for point shapes the model
+    does not support; [~symbolic:false] forces the materialized path. The
+    two produce estimator-identical modules (asserted by the differential
+    oracle). [tally] accumulates per-stage wall time for [--profile]. *)
+let apply_preprocessed ?(symbolic = true) ?tally ctx m ~top (pt : point) :
+    Ir.op =
+  let time bucket f =
+    match tally with
+    | None -> f ()
+    | Some t ->
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        let dt = Unix.gettimeofday () -. t0 in
+        (match bucket with
+        | `Transform -> t.t_transform <- t.t_transform +. dt
+        | `Unroll -> t.t_unroll <- t.t_unroll +. dt
+        | `Cleanup -> t.t_cleanup <- t.t_cleanup +. dt
+        | `Partition -> t.t_partition <- t.t_partition +. dt);
+        r
+  in
+  let m1 = time `Transform (fun () -> permute_tile ctx m ~top pt) in
+  let finish m =
+    time `Partition (fun () ->
+        Pass.run_pipeline [ Canonicalize.pass ] ctx (Array_partition.run ctx m))
+  in
+  let materialized m1 =
+    let m = time `Unroll (fun () -> pipeline_tops ctx m1 ~top pt ~annotate:false) in
+    let m = time `Cleanup (fun () -> Pass.run_pipeline cleanup_passes ctx m) in
+    finish m
+  in
+  if not symbolic then materialized m1
+  else begin
+    let m2 = time `Transform (fun () -> pipeline_tops ctx m1 ~top pt ~annotate:true) in
+    let m2 = time `Cleanup (fun () -> Pass.run_pipeline cleanup_passes ctx m2) in
+    match time `Unroll (fun () -> Unroll_model.expand ctx m2) with
+    | m3, expanded ->
+        Option.iter (fun t -> t.t_symbolic <- true) tally;
+        let m3 =
+          if expanded then
+            time `Cleanup (fun () ->
+                Pass.run_pipeline expand_cleanup_passes ctx m3)
+          else m3
+        in
+        finish m3
+    | exception Unroll_model.Unsupported _ ->
+        Option.iter (fun t -> t.t_fallback <- true) tally;
+        materialized m1
+  end
 
 (** Apply a design point to a module: returns the transformed module (with
     all levels of cleanup applied and directives set). Raises [Inapplicable]
     when e.g. the permutation is illegal for this point's preprocessing. *)
-let apply_point ctx m ~top (pt : point) : Ir.op =
-  apply_preprocessed ctx (preprocess ctx m ~lp:pt.lp ~rvb:pt.rvb) ~top pt
+let apply_point ?symbolic ctx m ~top (pt : point) : Ir.op =
+  apply_preprocessed ?symbolic ctx
+    (preprocess ctx m ~lp:pt.lp ~rvb:pt.rvb)
+    ~top pt
 
 (* ---- Space definition -------------------------------------------------------- *)
 
@@ -256,17 +404,83 @@ let build_space ?(max_unroll = 256) ?(max_ii = 8) ctx m ~top =
         max_unroll;
       }
 
+(* ---- Point canonicalization and cache keys ------------------------------------ *)
+
+(** Canonicalize a design point relative to its (lp, rvb)-preprocessed
+    module: clamp tile sizes exactly the way {!Loop_tile.tile_band} will
+    (non-dividing or trivial sizes become 1; every size when the band is
+    imperfect or variable-bound, i.e. untileable). Two proposals with the
+    same canonical form provably produce the same transformed module, so the
+    engine keys its evaluation cache on the canonical point — distinct raw
+    proposals that only differ in clamped-away tile sizes evaluate once.
+    Points the canonicalization cannot interpret (band/perm arity mismatch,
+    non-permutation [perm]) are returned unchanged — they are [Inapplicable]
+    under any reading. *)
+let canonicalize_point pre ~top (pt : point) : point =
+  match Ir.find_func pre top with
+  | None -> pt
+  | Some f -> (
+      match main_band f with
+      | None -> pt
+      | Some band ->
+          let n = List.length band in
+          if
+            List.length pt.perm <> n
+            || List.length pt.tiles <> n
+            || List.sort compare pt.perm <> List.init n Fun.id
+          then pt
+          else if
+            (not (Affine_d.band_is_perfect band))
+            || not (List.for_all Affine_d.has_const_bounds band)
+          then { pt with tiles = List.map (fun _ -> 1) pt.tiles }
+          else begin
+            let trips =
+              Array.of_list
+                (List.map (fun l -> Option.get (Loop_unroll.const_trip l)) band)
+            in
+            (* [tiles] is in permuted order: position [j] holds the original
+               band loop [i] with [perm(i) = j], whose trip count permutation
+               preserves. *)
+            let inv = Array.make n 0 in
+            List.iteri (fun i j -> inv.(j) <- i) pt.perm;
+            let tiles =
+              List.mapi
+                (fun j s ->
+                  let trip = trips.(inv.(j)) in
+                  if s > 1 && trip mod s = 0 then s else 1)
+                pt.tiles
+            in
+            { pt with tiles }
+          end)
+
+(** Evaluation-cache key of a design point: the structural fingerprint of
+    its preprocessed module crossed with the canonical directive
+    configuration. The fingerprint (rather than the raw (lp, rvb) flags)
+    collapses flag combinations whose preprocessing turns out to be a no-op.
+    Returns the key together with the canonical point. [pre_fp] supplies a
+    memoized fingerprint of [pre] (the engine computes it once per (lp, rvb)
+    combo). *)
+let cache_key ?pre_fp pre ~top (pt : point) :
+    (int64 * int list * int list * int) * point =
+  let c = canonicalize_point pre ~top pt in
+  let fp = match pre_fp with Some f -> f | None -> Fingerprint.op pre in
+  ((fp, c.perm, c.tiles, c.target_ii), c)
+
 (* ---- Evaluation -------------------------------------------------------------- *)
 
 let area_of (e : Estimator.estimate) = e.Estimator.usage.Platform.u_dsp
 
 (** Evaluate one design point. [?pre] supplies the (lp, rvb)-preprocessed
     module (the engine memoizes it; without it the preprocessing is run here).
-    Only [Inapplicable] means "not a design": any other exception is a
-    transform bug — it is logged with the offending point and re-raised
-    rather than silently swallowed. *)
-let evaluate ?(max_unroll = 256) ?pre ctx m ~top ~platform (pt : point) :
-    (evaluated * Ir.op) option =
+    [?symbolic] selects the evaluation path (default symbolic, see
+    {!apply_preprocessed}); [?est_memo] memoizes estimates by the transformed
+    module's structural fingerprint (fingerprint-identical modules share one
+    estimator run); [?tally] collects per-stage wall time. Only
+    [Inapplicable] means "not a design": any other exception is a transform
+    bug — it is logged with the offending point and re-raised rather than
+    silently swallowed. *)
+let evaluate ?(max_unroll = 256) ?symbolic ?tally ?est_memo ?pre ctx m ~top
+    ~platform (pt : point) : (evaluated * Ir.op) option =
   let unroll_product = List.fold_left ( * ) 1 pt.tiles in
   if unroll_product > max_unroll then None
   else
@@ -274,8 +488,24 @@ let evaluate ?(max_unroll = 256) ?pre ctx m ~top ~platform (pt : point) :
       match pre with Some p -> p | None -> preprocess ctx m ~lp:pt.lp ~rvb:pt.rvb
     in
     match
-      let m' = apply_preprocessed ctx pre_m ~top pt in
-      let e = Estimator.estimate m' ~top in
+      let m' = apply_preprocessed ?symbolic ?tally ctx pre_m ~top pt in
+      let time_estimate f =
+        match tally with
+        | None -> f ()
+        | Some t ->
+            let t0 = Unix.gettimeofday () in
+            let r = f () in
+            t.t_estimate <- t.t_estimate +. (Unix.gettimeofday () -. t0);
+            r
+      in
+      let e =
+        time_estimate (fun () ->
+            match est_memo with
+            | None -> Estimator.estimate m' ~top
+            | Some memo ->
+                Eval_cache.find_or_add memo (Fingerprint.op m') (fun () ->
+                    Estimator.estimate m' ~top))
+      in
       let feasible = Platform.fits platform e.Estimator.usage in
       ({ point = pt; estimate = e; feasible }, m')
     with
@@ -405,8 +635,8 @@ let neighbors (s : space) (pt : point) : point list =
     slowdown per extra busy domain on an oversubscribed machine), never
     parallelism. *)
 let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
-    ?(max_ii = 8) ?(heuristic_seeds = true) ?(jobs = 1) ctx m ~top ~platform :
-    result =
+    ?(max_ii = 8) ?(heuristic_seeds = true) ?(jobs = 1) ?(symbolic = true) ctx
+    m ~top ~platform : result =
   let jobs =
     let cores = Domain.recommended_domain_count () in
     if jobs <= 0 then cores else min jobs cores
@@ -414,24 +644,54 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
   let t_start = Unix.gettimeofday () in
   let rng = Random.State.make [| seed |] in
   let s = build_space ~max_unroll ~max_ii ctx m ~top in
+  let instr = instr_create () in
   (* Memoization. The preprocessing cache holds the (lp, rvb)-preprocessed
      module (4 combos at most; previously recomputed for every point). The
-     evaluation cache memoizes point -> estimate and doubles as the engine's
-     "seen" set; it deliberately does NOT retain transformed modules — those
-     are kept separately and only for current-frontier points, so memory
-     stays bounded by the frontier, not the explored count. *)
+     evaluation cache memoizes cache-key -> estimate and doubles as the
+     engine's "seen" set; keys are (preprocessed-module fingerprint ×
+     canonical directive config), so proposals that provably produce the same
+     transformed module evaluate once. It deliberately does NOT retain
+     transformed modules — those are kept separately and only for
+     current-frontier points, so memory stays bounded by the frontier, not
+     the explored count. The estimator memo additionally collapses
+     fingerprint-identical *transformed* modules reached from different
+     points. *)
   let pre_cache : (bool * bool, Ir.op) Eval_cache.t = Eval_cache.create ~size:4 () in
-  let cache : (point, evaluated option) Eval_cache.t = Eval_cache.create () in
+  let cache : (int64 * int list * int list * int, evaluated option) Eval_cache.t =
+    Eval_cache.create ()
+  in
+  let est_memo : (int64, Estimator.estimate) Eval_cache.t = Eval_cache.create () in
   let preprocessed lp rvb =
     Eval_cache.find_or_add pre_cache (lp, rvb) (fun () ->
         preprocess (Ir.Ctx.of_op m) m ~lp ~rvb)
   in
+  (* Preprocessed-module fingerprints, memoized per (lp, rvb) combo.
+     Coordinator-only (key_of runs during batch construction). *)
+  let pre_fps : (bool * bool, int64) Hashtbl.t = Hashtbl.create 4 in
+  let key_of pt =
+    let pre = preprocessed pt.lp pt.rvb in
+    let pre_fp =
+      match Hashtbl.find_opt pre_fps (pt.lp, pt.rvb) with
+      | Some f -> f
+      | None ->
+          let f = Fingerprint.op pre in
+          Hashtbl.replace pre_fps (pt.lp, pt.rvb) f;
+          f
+    in
+    cache_key ~pre_fp pre ~top pt
+  in
   (* Re-entrant point evaluation: a fresh context derived from the shared
      preprocessed module, so concurrent evaluations never contend and the
-     outcome is a pure function of the point. *)
+     outcome is a pure function of the (canonical) point. *)
   let eval_one pt =
     let pre = preprocessed pt.lp pt.rvb in
-    evaluate ~max_unroll ~pre (Ir.Ctx.of_op pre) m ~top ~platform pt
+    let t = tally_zero () in
+    let r =
+      evaluate ~max_unroll ~symbolic ~tally:t ~est_memo ~pre
+        (Ir.Ctx.of_op pre) m ~top ~platform pt
+    in
+    instr_merge instr t;
+    r
   in
   let evaluated = ref [] in
   let explored = ref 0 in
@@ -457,24 +717,26 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
   let eval_batch pts =
     let in_batch = Hashtbl.create 16 in
     let fresh =
-      List.filter
+      List.filter_map
         (fun pt ->
-          if Hashtbl.mem in_batch pt then false
+          let key, c = key_of pt in
+          if Hashtbl.mem in_batch key then None
           else begin
-            Hashtbl.replace in_batch pt ();
-            Option.is_none (Eval_cache.find_opt cache pt)
+            Hashtbl.replace in_batch key ();
+            if Option.is_none (Eval_cache.find_opt cache key) then Some (key, c)
+            else None
           end)
         pts
     in
-    let results = Parpool.map pool eval_one fresh in
+    let results = Parpool.map pool (fun (_, c) -> eval_one c) fresh in
     List.iter2
-      (fun pt res ->
-        Eval_cache.add cache pt (Option.map fst res);
+      (fun (key, c) res ->
+        Eval_cache.add cache key (Option.map fst res);
         incr explored;
         match res with
         | Some (ev, m') ->
             evaluated := ev :: !evaluated;
-            if ev.feasible then Hashtbl.replace modules pt m'
+            if ev.feasible then Hashtbl.replace modules c m'
         | None -> ())
       fresh results
   in
@@ -534,8 +796,16 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
      traversal evaluations. *)
   let used = ref 0 in
   let continue_ = ref true in
+  (* Frontier extraction is coordinator-only and runs between batches, so
+     the unlocked [s_pareto] accumulation never races worker merges. *)
+  let pareto_now () =
+    let t0 = Unix.gettimeofday () in
+    let fr = pareto_frontier !evaluated in
+    instr.s_pareto <- instr.s_pareto +. (Unix.gettimeofday () -. t0);
+    fr
+  in
   while !continue_ && !used < iterations do
-    let frontier = pareto_frontier !evaluated in
+    let frontier = pareto_now () in
     prune_modules frontier;
     match frontier with
     | [] ->
@@ -564,7 +834,9 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
               fr.(Random.State.int rng (Array.length fr))
         in
         let ns =
-          List.filter (fun n -> not (Eval_cache.mem cache n)) (neighbors s p.point)
+          List.filter
+            (fun n -> not (Eval_cache.mem cache (fst (key_of n))))
+            (neighbors s p.point)
         in
         (match ns with
         | [] ->
@@ -581,7 +853,7 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
             eval_batch batch;
             used := !used + List.length batch)
   done;
-  let frontier = pareto_frontier !evaluated in
+  let frontier = pareto_now () in
   prune_modules frontier;
   let best =
     match frontier with
@@ -606,6 +878,10 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
       pre_misses = Eval_cache.misses pre_cache;
       cache_hits = Eval_cache.hits cache;
       cache_misses = Eval_cache.misses cache;
+      symbolic_points = instr.n_symbolic;
+      fallback_points = instr.n_fallback;
+      est_memo_hits = Eval_cache.hits est_memo;
+      stage_seconds = instr_stages instr;
     }
   in
   { best; pareto = frontier; explored = !explored; module_; stats }

@@ -21,9 +21,16 @@ let pp_estimate fmt e =
   Fmt.pf fmt "latency=%d interval=%d %a" e.latency e.interval Platform.pp_usage
     e.usage
 
-type t = { module_ : Ir.op; cache : (string, estimate) Hashtbl.t }
+type t = {
+  module_ : Ir.op;
+  cache : (string, estimate) Hashtbl.t;
+  mutable ii_memo : (Ir.op * int) list;
+      (** pipelined II per chain-root op (physical identity): each root of a
+          flatten chain is revisited by the loop-usage fold after the latency
+          pass already computed its II *)
+}
 
-let create module_ = { module_; cache = Hashtbl.create 16 }
+let create module_ = { module_; cache = Hashtbl.create 16; ii_memo = [] }
 
 (* Coarse FU usage: ops/II sharing everywhere (non-pipelined code uses II =
    critical-path length, modelling full sequential reuse). *)
@@ -109,16 +116,28 @@ let rec estimate_func st (f : Ir.op) : estimate =
       e
 
 and pipelined_ii st ~scope root target =
-  ignore st;
-  let chain = match Synth.pipelined_chain root with Some (c, _) -> c | None -> [ target ] in
-  let basis = List.map Affine_d.induction_var chain in
-  let target_ii =
-    match Hlscpp.get_loop_directive target with
-    | Some d -> max 1 d.Hlscpp.loop_target_ii
-    | None -> 1
-  in
-  max target_ii
-    (max (Synth.ii_res ~scope ~basis target) (Synth.ii_dep ~scope ~chain target))
+  match List.assq_opt root st.ii_memo with
+  | Some ii -> ii
+  | None ->
+      let chain =
+        match Synth.pipelined_chain root with Some (c, _) -> c | None -> [ target ]
+      in
+      let basis = List.map Affine_d.induction_var chain in
+      let target_ii =
+        match Hlscpp.get_loop_directive target with
+        | Some d -> max 1 d.Hlscpp.loop_target_ii
+        | None -> 1
+      in
+      (* ii_res and ii_dep share one access collection (identical basis). *)
+      let accs = Analysis.Mem_access.collect ~scope ~basis target in
+      let ii =
+        max target_ii
+          (max
+             (Synth.ii_res ~accs ~scope ~basis target)
+             (Synth.ii_dep ~accs ~scope ~chain target))
+      in
+      st.ii_memo <- (root, ii) :: st.ii_memo;
+      ii
 
 (* ALAP-scheduled latency of an op list. *)
 and estimate_block st ~scope (ops : Ir.op list) : int =
@@ -129,11 +148,9 @@ and estimate_block st ~scope (ops : Ir.op list) : int =
   else begin
     let delay_of o = op_latency st ~scope o in
     let g = Sched.build ~delay_of ops in
-    let deadline = Sched.latency g in
-    (* ALAP at the critical-path deadline (the paper's §5.5.1 choice);
-       latency equals the deadline. *)
-    let (_ : int array) = Sched.alap g ~deadline in
-    deadline
+    (* ALAP at the critical-path deadline (the paper's §5.5.1 choice): the
+       block latency is exactly the critical-path length. *)
+    Sched.latency g
   end
 
 and op_latency st ~scope (o : Ir.op) : int =

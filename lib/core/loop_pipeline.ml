@@ -47,6 +47,63 @@ let pipeline_band ctx ?(target_ii = 1) ~depth root =
           in
           Some (build outer)
 
+(** Symbolic twin of {!pipeline_band}: annotate the target with the pipeline
+    directive and the enclosing perfect loops with [flatten] WITHOUT
+    materializing the nested full unroll — {!Unroll_model} later expands the
+    intra-tile iterations analytically for QoR estimation. Returns [None] in
+    exactly the situations where {!pipeline_band} would: depth out of range, a
+    nested loop that full unrolling would reject (variable bounds or trip
+    count beyond the limit), or a call inside the target. *)
+let annotate_band ?(unroll_limit = 4096) ?(target_ii = 1) ~depth root =
+  let band = Affine_d.band root in
+  if depth >= List.length band then None
+  else
+    let target = List.nth band depth in
+    let nested_ok =
+      List.for_all
+        (Loop_unroll.unrollable ~limit:unroll_limit)
+        (Walk.collect (fun o -> o != target && Affine_d.is_for o) target)
+    in
+    (* A call below a trip-0 nested loop vanishes during materialized
+       unrolling, so it must not disqualify the annotation either. *)
+    let rec live_call (o : Ir.op) =
+      Func.is_call o
+      || List.exists
+           (List.exists (fun (b : Ir.block) ->
+                List.exists
+                  (fun c ->
+                    (not
+                       (Affine_d.is_for c && Loop_unroll.const_trip c = Some 0))
+                    && live_call c)
+                  b.Ir.bops))
+           o.Ir.regions
+    in
+    if (not nested_ok) || live_call target then None
+    else
+      let pipelined =
+        Hlscpp.set_loop_directive target
+          {
+            Hlscpp.default_loop_directive with
+            Hlscpp.loop_pipeline = true;
+            loop_target_ii = target_ii;
+          }
+      in
+      let outer = List.filteri (fun i _ -> i < depth) band in
+      let rec build = function
+        | [] -> pipelined
+        | l :: rest ->
+            let inner = build rest in
+            let body =
+              List.map
+                (fun o -> if Affine_d.is_for o then inner else o)
+                (Ir.body_ops l)
+            in
+            let l' = Ir.with_body l body in
+            Hlscpp.set_loop_directive l'
+              { Hlscpp.default_loop_directive with Hlscpp.flatten = true }
+      in
+      Some (build outer)
+
 (** Pass form: pipeline the innermost loop of every band. *)
 let run_on_func ?(target_ii = 1) ctx f =
   Ir.with_body f

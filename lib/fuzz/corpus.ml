@@ -22,18 +22,21 @@ type oracle_kind =
   | Qor_pipeline  (** pipelining-latency monotonicity *)
   | Qor_estimator  (** estimator vs virtual-synth agreement *)
   | Dse_jobs  (** -j N vs -j 1 determinism *)
+  | Dse_symbolic  (** symbolic vs materialized point evaluation *)
 
 let oracle_kind_to_string = function
   | Interp_diff -> "interp-diff"
   | Qor_pipeline -> "qor-pipeline"
   | Qor_estimator -> "qor-estimator"
   | Dse_jobs -> "dse-jobs"
+  | Dse_symbolic -> "dse-symbolic"
 
 let oracle_kind_of_string = function
   | "interp-diff" -> Some Interp_diff
   | "qor-pipeline" -> Some Qor_pipeline
   | "qor-estimator" -> Some Qor_estimator
   | "dse-jobs" -> Some Dse_jobs
+  | "dse-symbolic" -> Some Dse_symbolic
   | _ -> None
 
 type entry = {
@@ -121,3 +124,4 @@ let replay (e : entry) : Oracle.failure list =
   | Qor_pipeline -> Oracle.qor_pipelining_monotone m ~top
   | Qor_estimator -> Oracle.qor_estimator_agrees m ~top
   | Dse_jobs -> Oracle.dse_jobs_deterministic ~seed:e.seed m ~top
+  | Dse_symbolic -> Oracle.dse_symbolic_equiv ~seed:e.seed m ~top

@@ -30,6 +30,7 @@ let classify (f : Oracle.failure) : Corpus.oracle_kind =
   | "qor-pipeline" -> Corpus.Qor_pipeline
   | "qor-estimator" -> Corpus.Qor_estimator
   | "dse-jobs" -> Corpus.Dse_jobs
+  | "dse-symbolic" -> Corpus.Dse_symbolic
   | _ -> Corpus.Interp_diff
 
 (* Re-check predicate for the reducer, per oracle family. *)
@@ -40,7 +41,8 @@ let still_fails_for ~prog_seed ~top kind (c : Reduce.candidate) =
       Oracle.differential ~seed:prog_seed m ~top ~pipeline:c.Reduce.pipeline
   | Corpus.Qor_pipeline -> Oracle.qor_pipelining_monotone m ~top
   | Corpus.Qor_estimator -> Oracle.qor_estimator_agrees m ~top
-  | Corpus.Dse_jobs -> Oracle.dse_jobs_deterministic ~seed:prog_seed m ~top)
+  | Corpus.Dse_jobs -> Oracle.dse_jobs_deterministic ~seed:prog_seed m ~top
+  | Corpus.Dse_symbolic -> Oracle.dse_symbolic_equiv ~seed:prog_seed m ~top)
   <> []
 
 let first_failure_of (c : Reduce.candidate) ~prog_seed ~top kind =
@@ -53,6 +55,8 @@ let first_failure_of (c : Reduce.candidate) ~prog_seed ~top kind =
     | Corpus.Qor_estimator -> Oracle.qor_estimator_agrees c.Reduce.module_ ~top
     | Corpus.Dse_jobs ->
         Oracle.dse_jobs_deterministic ~seed:prog_seed c.Reduce.module_ ~top
+    | Corpus.Dse_symbolic ->
+        Oracle.dse_symbolic_equiv ~seed:prog_seed c.Reduce.module_ ~top
   with
   | f :: _ -> Some f
   | [] -> None
@@ -83,8 +87,9 @@ let run ?(params = Gen.default_params) ?eps ?(dse_every = 0) ?(reduce = false)
       oracle_runs := !oracle_runs + 2;
       let dse =
         if dse_every > 0 && i mod dse_every = 0 then begin
-          incr oracle_runs;
-          Oracle.dse_jobs_deterministic ~seed:prog_seed p.Gen.module_ ~top
+          oracle_runs := !oracle_runs + 2;
+          Oracle.dse_symbolic_equiv ~seed:prog_seed p.Gen.module_ ~top
+          @ Oracle.dse_jobs_deterministic ~seed:prog_seed p.Gen.module_ ~top
         end
         else []
       in

@@ -170,6 +170,54 @@ let point_eq (a : Dse.point) (b : Dse.point) =
 let points_of (r : Dse.result) =
   List.map (fun (e : Dse.evaluated) -> e.Dse.point) r.Dse.pareto
 
+(** The symbolic evaluation path must be indistinguishable from the
+    materialized one: for sampled design points of the module's own space,
+    [Dse.apply_point ~symbolic:true] and [~symbolic:false] must agree on
+    applicability and produce structurally identical modules (same
+    {!Mir.Fingerprint}), hence identical estimates. Fallback points compare
+    trivially (the symbolic path re-runs the materialized transform), so the
+    oracle is sound on any module and discriminating exactly where the
+    symbolic expansion engages. *)
+let dse_symbolic_equiv ?(points = 6) ~seed m ~top : failure list =
+  try
+    let ctx = Ir.Ctx.of_op m in
+    let space = Dse.build_space ctx m ~top in
+    let rng = Random.State.make [| seed |] in
+    let fails = ref [] in
+    for _ = 1 to points do
+      let pt = Dse.random_point rng space in
+      let app symbolic =
+        match Dse.apply_point ~symbolic ctx m ~top pt with
+        | m' -> Some m'
+        | exception Dse.Inapplicable -> None
+      in
+      match (app true, app false) with
+      | None, None -> ()
+      | Some ms, Some mm ->
+          let fs = Fingerprint.op ms and fm = Fingerprint.op mm in
+          if not (Int64.equal fs fm) then
+            fails :=
+              fail "dse-symbolic" "structural divergence at %a: %s vs %s"
+                Dse.pp_point pt (Fingerprint.to_hex fs) (Fingerprint.to_hex fm)
+              :: !fails
+          else begin
+            let es = Estimator.estimate ms ~top
+            and em = Estimator.estimate mm ~top in
+            if es <> em then
+              fails :=
+                fail "dse-symbolic" "estimate divergence at %a: %a vs %a"
+                  Dse.pp_point pt Estimator.pp_estimate es Estimator.pp_estimate
+                  em
+                :: !fails
+          end
+      | Some _, None | None, Some _ ->
+          fails :=
+            fail "dse-symbolic" "applicability divergence at %a" Dse.pp_point pt
+            :: !fails
+    done;
+    List.rev !fails
+  with e -> [ fail "dse-symbolic" "crash: %s" (Printexc.to_string e) ]
+
 (** A parallel DSE run must be bit-identical to the sequential one: same
     explored count, same best point, same Pareto frontier. *)
 let dse_jobs_deterministic ?(samples = 4) ?(iterations = 6) ~seed m ~top : failure list =

@@ -1,0 +1,137 @@
+(** Structural fingerprinting: a 64-bit bottom-up hash of an operation tree
+    that is invariant under SSA value renumbering but sensitive to every
+    structural feature — op names, attributes (with constructor tags, so
+    [Int 4] and [Float 4.] differ), result/operand types, region shape, and
+    the def-use wiring between ops.
+
+    Value identity is abstracted by local value numbering: results and block
+    arguments are numbered in pre-order definition order, and operands defined
+    outside the fingerprinted tree ("free" values) are numbered by first use
+    under a distinct tag. Two ops built by independent {!Ir.Ctx}s therefore
+    fingerprint equally iff they are structurally identical.
+
+    The DSE uses fingerprints as O(1) cache keys: for the evaluation cache
+    (pre-module fingerprint × directive configuration) and for the estimator
+    memo table (transformed-module fingerprint). *)
+
+(* splitmix64 finalizer: a cheap, well-distributed 64-bit mixer. *)
+let mix (z : int64) : int64 =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let combine (h : int64) (x : int64) : int64 =
+  mix (Int64.add (Int64.mul h 0x9e3779b97f4a7c15L) x)
+
+let of_int h i = combine h (Int64.of_int i)
+
+let of_string h s =
+  (* FNV-1a over the bytes, folded into the running hash. *)
+  let fnv = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      fnv := Int64.logxor !fnv (Int64.of_int (Char.code c));
+      fnv := Int64.mul !fnv 0x100000001b3L)
+    s;
+  combine h !fnv
+
+(* Constructor tags keep differently-typed but identically-printed payloads
+   apart (e.g. Attr.Int 4 vs Attr.Float 4., or a Str that spells a type). *)
+let tag h t = combine h (Int64.of_int (0x51 + t))
+
+(* Local value numbering state: vid -> local number, plus a per-walk type
+   memo (a module mentions few distinct types but very many values; keeping
+   the memo walk-local avoids shared mutable state across DSE domains). *)
+type numbering = {
+  nums : (int, int) Hashtbl.t;
+  tys : (Ty.t, int64) Hashtbl.t;
+  mutable next : int;
+}
+
+(* Types hash via their precise printed form (layout maps and memory spaces
+   included). *)
+let ty_hash st (t : Ty.t) : int64 =
+  match Hashtbl.find_opt st.tys t with
+  | Some h -> h
+  | None ->
+      let h = of_string (tag 0L 1) (Ty.to_string t) in
+      Hashtbl.add st.tys t h;
+      h
+
+let rec attr_hash st (a : Attr.t) : int64 =
+  match a with
+  | Attr.Unit -> tag 0L 10
+  | Attr.Bool b -> combine (tag 0L 11) (if b then 1L else 0L)
+  | Attr.Int i -> of_int (tag 0L 12) i
+  | Attr.Float f -> combine (tag 0L 13) (Int64.bits_of_float f)
+  | Attr.Str s -> of_string (tag 0L 14) s
+  | Attr.Ty t -> combine (tag 0L 15) (ty_hash st t)
+  | Attr.Arr xs ->
+      List.fold_left (fun h x -> combine h (attr_hash st x)) (tag 0L 16) xs
+  | Attr.Map m -> of_string (tag 0L 17) (Affine.Map.to_string m)
+  | Attr.Set s -> of_string (tag 0L 18) (Fmt.str "%a" Affine.Set_.pp s)
+  | Attr.Dict kvs ->
+      List.fold_left
+        (fun h (k, v) -> combine (of_string h k) (attr_hash st v))
+        (tag 0L 19) kvs
+
+let free_bit = 1 lsl 30 (* distinguishes free values from local definitions *)
+
+let number st v =
+  Hashtbl.replace st.nums v.Ir.vid st.next;
+  st.next <- st.next + 1
+
+let operand_num st v =
+  match Hashtbl.find_opt st.nums v.Ir.vid with
+  | Some n -> n
+  | None ->
+      (* Free value: number by first use, tagged apart from definitions. *)
+      let n = st.next lor free_bit in
+      Hashtbl.replace st.nums v.Ir.vid n;
+      st.next <- st.next + 1;
+      n
+
+let rec op_hash st (o : Ir.op) : int64 =
+  let h = of_string (tag 0L 2) o.Ir.name in
+  let h =
+    List.fold_left
+      (fun h v -> combine (of_int h (operand_num st v)) (ty_hash st v.Ir.vty))
+      (tag h 3) o.Ir.operands
+  in
+  (* Results are numbered here (pre-order definition point) and their types
+     folded in; their local numbers are implied by position. *)
+  let h =
+    List.fold_left
+      (fun h v ->
+        number st v;
+        combine h (ty_hash st v.Ir.vty))
+      (tag h 4) o.Ir.results
+  in
+  let h =
+    List.fold_left
+      (fun h (k, v) -> combine (of_string h k) (attr_hash st v))
+      (tag h 5) o.Ir.attrs
+  in
+  List.fold_left
+    (fun h (r : Ir.region) ->
+      List.fold_left
+        (fun h (b : Ir.block) ->
+          let h =
+            List.fold_left
+              (fun h v ->
+                number st v;
+                combine h (ty_hash st v.Ir.vty))
+              (tag h 7) b.Ir.bargs
+          in
+          List.fold_left (fun h o -> combine h (op_hash st o)) h b.Ir.bops)
+        (tag h 6) r)
+    h o.Ir.regions
+
+(** Fingerprint of an operation tree. Pure function of the op's structure:
+    independent of vids, of the minting {!Ir.Ctx}, and of physical sharing. *)
+let op (o : Ir.op) : int64 =
+  op_hash { nums = Hashtbl.create 256; tys = Hashtbl.create 16; next = 0 } o
+
+(** Fingerprint as a hex string (stable across runs; handy for logs/keys). *)
+let to_hex (h : int64) = Printf.sprintf "%016Lx" h

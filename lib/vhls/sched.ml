@@ -57,18 +57,47 @@ let build ~delay_of (ops : Ir.op list) : graph =
           | _ -> ())
         frees)
     nodes;
-  (* memory ordering edges between nodes touching the same memref, at least
-     one writing. *)
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      let conflict =
-        List.exists
-          (fun (mi, si) ->
-            List.exists (fun (mj, sj) -> mi = mj && (si || sj)) nodes.(j).accesses)
-          nodes.(i).accesses
-      in
-      if conflict then preds.(j) <- (i, nodes.(i).delay) :: preds.(j)
-    done
+  (* Memory ordering edges between nodes touching the same memref, at least
+     one writing — built per memref as last-store / reads-since-store chains
+     instead of the all-pairs conflict scan. The chain edges are a subset of
+     the all-pairs edges, and every omitted edge (i, j) is dominated by a
+     chain path i -> ... -> j of total weight >= delay(i) (delays are
+     non-negative), so ASAP/ALAP start times — hence latency and FU
+     concurrency — are exactly those of the full conflict graph. *)
+  let last_store : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let reads_since : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  for j = 0 to n - 1 do
+    (* Aggregate node j's accesses into per-memref read/write flags first:
+       composite nodes (loops) carry one entry per contained access. *)
+    let flags : (int, bool ref * bool ref) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (m, st) ->
+        let r, w =
+          match Hashtbl.find_opt flags m with
+          | Some rw -> rw
+          | None ->
+              let rw = (ref false, ref false) in
+              Hashtbl.replace flags m rw;
+              rw
+        in
+        if st then w := true else r := true)
+      nodes.(j).accesses;
+    Hashtbl.iter
+      (fun m (r, w) ->
+        let add i =
+          if i <> j then preds.(j) <- (i, nodes.(i).delay) :: preds.(j)
+        in
+        (match Hashtbl.find_opt last_store m with Some i -> add i | None -> ());
+        if !w then begin
+          List.iter add
+            (Option.value ~default:[] (Hashtbl.find_opt reads_since m));
+          Hashtbl.replace last_store m j;
+          Hashtbl.replace reads_since m []
+        end
+        else if !r then
+          Hashtbl.replace reads_since m
+            (j :: Option.value ~default:[] (Hashtbl.find_opt reads_since m)))
+      flags
   done;
   { nodes; preds }
 

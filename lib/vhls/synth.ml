@@ -143,9 +143,15 @@ let rec pipelined_chain (l : Ir.op) =
 
 (* Resource-constrained minimal II (Eq. 3): accesses per memory bank divided
    by ports. Bank of an access is resolved by composing the partition layout
-   with the access function; non-constant banks are spread optimistically. *)
-let ii_res ~scope ~basis (target : Ir.op) =
-  let accs = Mem_access.collect ~scope ~basis target in
+   with the access function; non-constant banks are spread optimistically.
+   [?accs] lets the caller share one [Mem_access.collect ~basis] result with
+   {!ii_dep} (both use the pipelined chain's induction variables as basis). *)
+let ii_res ?accs ~scope ~basis (target : Ir.op) =
+  let accs =
+    match accs with
+    | Some a -> a
+    | None -> Mem_access.collect ~scope ~basis target
+  in
   let by_mem = Mem_access.by_memref accs in
   List.fold_left
     (fun acc ((m : Ir.value), maccs) ->
@@ -193,10 +199,14 @@ let ii_res ~scope ~basis (target : Ir.op) =
 
 (* Dependence-constrained minimal II (Eq. 4) for pipelining [target] with the
    (possibly flattened) enclosing chain [chain]. *)
-let ii_dep ~scope ~chain (target : Ir.op) =
+let ii_dep ?accs ~scope ~chain (target : Ir.op) =
   let basis = List.map Affine_d.induction_var chain in
   let num_dims = List.length basis in
-  let accs = Mem_access.collect ~scope ~basis target in
+  let accs =
+    match accs with
+    | Some a -> a
+    | None -> Mem_access.collect ~scope ~basis target
+  in
   (* iteration-space domains enable the guard-aware FM refinement *)
   let ranges =
     let rs = List.map Affine_d.const_trip_count chain in
@@ -228,16 +238,27 @@ let ii_dep ~scope ~chain (target : Ir.op) =
     let g = Sched.build ~delay_of:(fun o -> Fu.op_delay o.Ir.name) body in
     let t = Sched.asap g in
     (* one pass: physical-identity table from access op to its node's time
-       (ops may be nested inside affine.if nodes) *)
-    let times : (Ir.op * int) list ref = ref [] in
+       (ops may be nested inside affine.if nodes). Keyed by physical
+       identity behind a (bounded-depth) structural hash: [==] implies
+       structural equality implies equal hashes, so the table is exact while
+       lookups stay O(1) — wide unrolled bodies pair thousands of deps
+       against hundreds of accesses, and the former assoc-list scan made
+       this quadratic. *)
+    let module Op_tbl = Hashtbl.Make (struct
+      type nonrec t = Ir.op
+
+      let equal = ( == )
+      let hash = Hashtbl.hash
+    end) in
+    let times = Op_tbl.create 64 in
     Array.iteri
       (fun i nd ->
         Walk.iter_op
-          (fun x -> if Memref.is_access x then times := (x, t.(i)) :: !times)
+          (fun x -> if Memref.is_access x then Op_tbl.replace times x t.(i))
           nd.Sched.op)
       g.Sched.nodes;
     let time_of (op : Ir.op) =
-      match List.assq_opt op !times with Some v -> v | None -> 0
+      match Op_tbl.find_opt times op with Some v -> v | None -> 0
     in
     let trips_arr = Array.of_list trips in
     let flat_distance (dep : Dependence.dep) =
@@ -457,8 +478,10 @@ and analyze_loop st ~scope (l : Ir.op) : report =
         | None -> 1
       in
       let basis = List.map Affine_d.induction_var chain in
+      let accs = Mem_access.collect ~scope ~basis target in
       let ii =
-        max target_ii (max (ii_res ~scope ~basis target) (ii_dep ~scope ~chain target))
+        max target_ii
+          (max (ii_res ~accs ~scope ~basis target) (ii_dep ~accs ~scope ~chain target))
       in
       let latency = (ii * max 0 (total_trip - 1)) + iter_lat + Fu.loop_overhead + 1 in
       let usage =

@@ -281,6 +281,104 @@ let test_parpool_propagates_exceptions () =
       Alcotest.(check (list int)) "pool still usable" [ 1; 2; 3 ]
         (Parpool.map pool Fun.id [ 1; 2; 3 ]))
 
+(* ---- Fingerprinting --------------------------------------------------------------------- *)
+
+let fp = Mir.Fingerprint.op
+let fp_eq a b = Int64.equal (fp a) (fp b)
+
+let test_fingerprint_deterministic () =
+  (* fresh Ir.Ctx each time: value ids differ, structure does not *)
+  let _, m1 = compile_kernel ~n:8 Models.Polybench.Gemm in
+  let _, m2 = compile_kernel ~n:8 Models.Polybench.Gemm in
+  Alcotest.(check bool) "same module across fresh contexts" true (fp_eq m1 m2);
+  let _, m3 = compile_kernel ~n:16 Models.Polybench.Gemm in
+  Alcotest.(check bool) "different problem size differs" false (fp_eq m1 m3)
+
+let test_fingerprint_sensitivity () =
+  let _, m = compile_kernel ~n:8 Models.Polybench.Gemm in
+  let mutate_one name f =
+    let done_ = ref false in
+    Mir.Walk.map_op
+      (fun (o : Mir.Ir.op) ->
+        if (not !done_) && o.Mir.Ir.name = name then begin
+          done_ := true;
+          f o
+        end
+        else o)
+      m
+  in
+  Alcotest.(check bool) "op rename changes hash" false
+    (fp_eq m (mutate_one "arith.mulf" (fun o -> { o with Mir.Ir.name = "arith.addf" })));
+  Alcotest.(check bool) "attr change changes hash" false
+    (fp_eq m
+       (mutate_one "affine.for" (fun o -> Mir.Ir.set_attr o "fp_test" (Mir.Attr.Int 1))));
+  (* attrs hash their constructor: Int 4 and Float 4. must not collide *)
+  let mk a = Mir.Ir.mk "test.attr" ~attrs:[ ("v", a) ] ~operands:[] ~results:[] in
+  Alcotest.(check bool) "Int 4 <> Float 4." false
+    (fp_eq (mk (Mir.Attr.Int 4)) (mk (Mir.Attr.Float 4.)));
+  Alcotest.(check bool) "Int 4 <> Int 5" false
+    (fp_eq (mk (Mir.Attr.Int 4)) (mk (Mir.Attr.Int 5)));
+  (* result types are part of the structure *)
+  let ctx = Mir.Ir.Ctx.create () in
+  let mk_typed ty =
+    Mir.Ir.mk "test.typed" ~operands:[] ~results:[ Mir.Ir.Ctx.fresh ctx ty ]
+  in
+  Alcotest.(check bool) "f32 result <> f64 result" false
+    (fp_eq (mk_typed Mir.Ty.F32) (mk_typed Mir.Ty.F64))
+
+(* ---- Point canonicalization ------------------------------------------------------------- *)
+
+let test_canonical_points_share_key () =
+  let ctx, m = compile_kernel ~n:8 Models.Polybench.Gemm in
+  let pre = Dse.preprocess ctx m ~lp:true ~rvb:false in
+  (* tile size 3 does not divide the trip count 8: Loop_tile clamps it to 1,
+     so these two proposals produce the same transformed module *)
+  let raw = { Dse.lp = true; rvb = false; perm = [ 0; 1; 2 ]; tiles = [ 3; 4; 4 ]; target_ii = 1 } in
+  let clamped = { raw with Dse.tiles = [ 1; 4; 4 ] } in
+  let k1, c1 = Dse.cache_key pre ~top:"gemm" raw in
+  let k2, _ = Dse.cache_key pre ~top:"gemm" clamped in
+  Alcotest.(check bool) "clamped-equal points share the cache key" true (k1 = k2);
+  Alcotest.(check (list int)) "canonical tiles" [ 1; 4; 4 ] c1.Dse.tiles;
+  (* and the engine really evaluates them once: the estimator memo sees one
+     miss (first point) and one hit (second point, fingerprint-identical) *)
+  let memo = Eval_cache.create () in
+  let ev pt = Dse.evaluate ~est_memo:memo ~pre ctx m ~top:"gemm" ~platform:P.xc7z020 pt in
+  (match (ev raw, ev clamped) with
+  | Some _, Some _ -> ()
+  | _ -> Alcotest.fail "points did not evaluate");
+  Alcotest.(check int) "estimator ran once" 1 (Eval_cache.misses memo);
+  Alcotest.(check int) "second point memoized" 1 (Eval_cache.hits memo)
+
+(* ---- Symbolic vs materialized evaluation ------------------------------------------------- *)
+
+(* The tentpole invariant: the symbolic unroll path is observationally
+   identical to materializing the unrolled body — same transformed modules
+   (structural fingerprint), same estimates, same frontier. *)
+let check_symbolic_equiv kernel ~n ~top =
+  let _, m = compile_kernel ~n kernel in
+  let fails = Fuzz.Oracle.dse_symbolic_equiv ~points:8 ~seed:13 m ~top in
+  Alcotest.(check (list string))
+    (top ^ ": symbolic = materialized") []
+    (List.map (Fmt.str "%a" Fuzz.Oracle.pp_failure) fails)
+
+let test_symbolic_equiv_gemm () = check_symbolic_equiv Models.Polybench.Gemm ~n:16 ~top:"gemm"
+let test_symbolic_equiv_syrk () = check_symbolic_equiv Models.Polybench.Syrk ~n:8 ~top:"syrk"
+
+let test_run_symbolic_matches_materialized () =
+  let run symbolic =
+    let ctx, m = compile_kernel ~n:16 Models.Polybench.Gemm in
+    Dse.run ~symbolic ~samples:10 ~iterations:16 ~seed:11 ctx m ~top:"gemm"
+      ~platform:P.xc7z020
+  in
+  let rs = run true and rm = run false in
+  Alcotest.(check bool) "same frontier either path" true (frontier_sig rs = frontier_sig rm);
+  (* gemm is fully within the supported shape: the symbolic path must never
+     fall back (the CI bench gate relies on this) *)
+  Alcotest.(check int) "no fallback on gemm" 0 rs.Dse.stats.Dse.fallback_points;
+  Alcotest.(check bool) "symbolic path exercised" true (rs.Dse.stats.Dse.symbolic_points > 0);
+  Alcotest.(check int) "materialized run reports no symbolic points" 0
+    rm.Dse.stats.Dse.symbolic_points
+
 let suite =
   ( "dse",
     [
@@ -304,4 +402,14 @@ let suite =
       Alcotest.test_case "dse caches: stats" `Slow test_run_cache_stats;
       Alcotest.test_case "parallel dse: -j invariant (gemm)" `Slow test_parallel_deterministic_gemm;
       Alcotest.test_case "parallel dse: -j invariant (syrk)" `Slow test_parallel_deterministic_syrk;
+      Alcotest.test_case "fingerprint: deterministic across contexts" `Quick
+        test_fingerprint_deterministic;
+      Alcotest.test_case "fingerprint: structural sensitivity" `Quick
+        test_fingerprint_sensitivity;
+      Alcotest.test_case "canonical points share cache key" `Quick
+        test_canonical_points_share_key;
+      Alcotest.test_case "symbolic = materialized (gemm)" `Slow test_symbolic_equiv_gemm;
+      Alcotest.test_case "symbolic = materialized (syrk)" `Slow test_symbolic_equiv_syrk;
+      Alcotest.test_case "symbolic run matches materialized run" `Slow
+        test_run_symbolic_matches_materialized;
     ] )
