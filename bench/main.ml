@@ -334,9 +334,13 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
   Fmt.pr "parallel  : %d points in %5.2fs (%.1f points/s, %d workers)@." rn.Dse.explored
     tn (pps rn tn) jobs_eff;
   Fmt.pr "speedup   : %.2fx   frontier match: %b@." (t1 /. Float.max 1e-9 tn) frontier_match;
-  Fmt.pr "pre-cache : %d hits / %d misses; eval cache: %d hits / %d misses@."
+  Fmt.pr "pre-cache : %d hits / %d misses; eval cache: %d hits / %d misses (%.0f%% hit rate)@."
     rn.Dse.stats.Dse.pre_hits rn.Dse.stats.Dse.pre_misses rn.Dse.stats.Dse.cache_hits
-    rn.Dse.stats.Dse.cache_misses;
+    rn.Dse.stats.Dse.cache_misses
+    (100. *. Dse.hit_rate rn.Dse.stats.Dse.cache_hits rn.Dse.stats.Dse.cache_misses);
+  Fmt.pr "est memo  : %d hits / %d misses (%.0f%% hit rate)@."
+    rn.Dse.stats.Dse.est_memo_hits rn.Dse.stats.Dse.est_memo_misses
+    (100. *. Dse.hit_rate rn.Dse.stats.Dse.est_memo_hits rn.Dse.stats.Dse.est_memo_misses);
   if not frontier_match then
     Fmt.epr "WARNING: parallel DSE diverged from the sequential baseline@.";
   (* Symbolic vs materialized: same seed, same space, sequential both ways.
@@ -372,7 +376,9 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
   "parallel": { "jobs": %d, "wall_s": %.3f, "points": %d, "points_per_sec": %.2f },
   "speedup": %.3f,
   "frontier_match": %b,
-  "cache": { "pre_hits": %d, "pre_misses": %d, "eval_hits": %d, "eval_misses": %d },
+  "cache": { "pre_hits": %d, "pre_misses": %d, "eval_hits": %d, "eval_misses": %d,
+             "eval_hit_rate": %.4f, "est_memo_hits": %d, "est_memo_misses": %d,
+             "est_memo_hit_rate": %.4f },
   "symbolic_vs_materialized": {
     "symbolic_wall_s": %.3f,
     "materialized_wall_s": %.3f,
@@ -391,7 +397,11 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
     t1 r1.Dse.explored (pps r1 t1) jobs_eff tn rn.Dse.explored (pps rn tn)
     (t1 /. Float.max 1e-9 tn)
     frontier_match rn.Dse.stats.Dse.pre_hits rn.Dse.stats.Dse.pre_misses
-    rn.Dse.stats.Dse.cache_hits rn.Dse.stats.Dse.cache_misses t1 tm
+    rn.Dse.stats.Dse.cache_hits rn.Dse.stats.Dse.cache_misses
+    (Dse.hit_rate rn.Dse.stats.Dse.cache_hits rn.Dse.stats.Dse.cache_misses)
+    rn.Dse.stats.Dse.est_memo_hits rn.Dse.stats.Dse.est_memo_misses
+    (Dse.hit_rate rn.Dse.stats.Dse.est_memo_hits rn.Dse.stats.Dse.est_memo_misses)
+    t1 tm
     (tm /. Float.max 1e-9 t1)
     symbolic_frontier_match r1.Dse.stats.Dse.symbolic_points
     r1.Dse.stats.Dse.fallback_points r1.Dse.stats.Dse.est_memo_hits profile_json;

@@ -1,0 +1,32 @@
+(** The shared observability CLI surface of every ScaleHLS binary:
+    [--trace FILE] (Chrome trace_event JSON for chrome://tracing / Perfetto)
+    and [--metrics FILE] (metrics as JSON Lines), with the [SCALEHLS_TRACE] /
+    [SCALEHLS_METRICS] environment variables as flagless fallbacks. *)
+
+open Cmdliner
+
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans (per-pass, per-DSE-point, ...) and write a Chrome \
+           trace_event JSON to $(docv) on exit — loadable in chrome://tracing \
+           or ui.perfetto.dev. The $(b,SCALEHLS_TRACE) environment variable \
+           sets a default.")
+
+let metrics =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write all collected metrics (cache hit rates, worker utilization, \
+           campaign counters, ...) as JSON Lines to $(docv) on exit. The \
+           $(b,SCALEHLS_METRICS) environment variable sets a default.")
+
+(** Wrap a binary's work: enables tracing when requested and flushes the
+    trace/metrics files plus a stderr summary on the way out (crash
+    included). *)
+let with_obs ~trace ~metrics f = Obs.Report.run ~trace ~metrics f

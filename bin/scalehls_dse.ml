@@ -22,7 +22,8 @@ let platform_of_name = function
       exit 2
 
 let run input kernel size top platform samples iterations seed jobs symbolic
-    profile emit =
+    profile emit trace metrics =
+  Obs_flags.with_obs ~trace ~metrics @@ fun () ->
   let ctx = Ir.Ctx.create () in
   let src, top =
     match (input, kernel) with
@@ -42,9 +43,10 @@ let run input kernel size top platform samples iterations seed jobs symbolic
   in
   let platform = platform_of_name platform in
   let m = Pipeline.compile_c ctx src in
-  let t0 = Unix.gettimeofday () in
-  let r = Dse.run ~samples ~iterations ~seed ~jobs ~symbolic ctx m ~top ~platform in
-  let dt = Unix.gettimeofday () -. t0 in
+  let r, dt =
+    Obs.Clock.time_s (fun () ->
+        Dse.run ~samples ~iterations ~seed ~jobs ~symbolic ctx m ~top ~platform)
+  in
   Fmt.pr "explored %d design points in %.2fs (%.1f points/s, %d worker%s)@."
     r.Dse.explored dt
     (float_of_int r.Dse.explored /. Float.max 1e-9 dt)
@@ -55,6 +57,20 @@ let run input kernel size top platform samples iterations seed jobs symbolic
     Fmt.pr "evaluation : %d symbolic, %d fallback, %d estimator-memo hit%s@."
       s.Dse.symbolic_points s.Dse.fallback_points s.Dse.est_memo_hits
       (if s.Dse.est_memo_hits = 1 then "" else "s");
+    List.iter
+      (fun (reason, n) -> Fmt.pr "  fallback because %s: %d@." reason n)
+      s.Dse.fallback_reasons;
+    Fmt.pr "caches     : eval %d/%d hits (%.0f%%), pre %d/%d, est-memo %.0f%%@."
+      s.Dse.cache_hits
+      (s.Dse.cache_hits + s.Dse.cache_misses)
+      (100. *. Dse.hit_rate s.Dse.cache_hits s.Dse.cache_misses)
+      s.Dse.pre_hits
+      (s.Dse.pre_hits + s.Dse.pre_misses)
+      (100. *. Dse.hit_rate s.Dse.est_memo_hits s.Dse.est_memo_misses);
+    Fmt.pr "workers    : %a@."
+      Fmt.(
+        list ~sep:comma (fun fmt (i, f) -> pf fmt "#%d %.0f%% busy" i (100. *. f)))
+      s.Dse.worker_busy;
     Fmt.pr "per stage  :@.";
     List.iter
       (fun (stage, secs) -> Fmt.pr "  %-10s %6.2fs@." stage secs)
@@ -129,6 +145,7 @@ let cmd =
   Cmd.v (Cmd.info "scalehls-dse" ~doc)
     Term.(
       const run $ input $ kernel $ size $ top $ platform $ samples $ iterations
-      $ seed $ jobs $ symbolic $ profile $ emit)
+      $ seed $ jobs $ symbolic $ profile $ emit $ Obs_flags.trace
+      $ Obs_flags.metrics)
 
 let () = exit (Cmd.eval' cmd)

@@ -11,7 +11,8 @@
 
 open Cmdliner
 
-let run seed iters reduce out dse_every eps quiet =
+let run seed iters reduce out dse_every eps quiet trace metrics =
+  Obs_flags.with_obs ~trace ~metrics @@ fun () ->
   let log s = if not quiet then Fmt.pr "%s@." s in
   Fmt.pr "fuzzing: seed %d, %d programs%s@." seed iters
     (if dse_every > 0 then Fmt.str ", DSE oracle every %d" dse_every else "");
@@ -78,6 +79,8 @@ let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress per-finding
 let cmd =
   let doc = "Differential fuzzing of ScaleHLS passes and QoR models" in
   Cmd.v (Cmd.info "scalehls-fuzz" ~doc)
-    Term.(const run $ seed $ iters $ reduce $ out $ dse_every $ eps $ quiet)
+    Term.(
+      const run $ seed $ iters $ reduce $ out $ dse_every $ eps $ quiet
+      $ Obs_flags.trace $ Obs_flags.metrics)
 
 let () = exit (Cmd.eval' cmd)

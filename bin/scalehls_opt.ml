@@ -13,7 +13,8 @@ let read_file path =
   close_in ic;
   s
 
-let run input passes no_raise timing =
+let run input passes no_raise timing op_stats trace metrics =
+  Obs_flags.with_obs ~trace ~metrics @@ fun () ->
   let ctx = Ir.Ctx.create () in
   let src = read_file input in
   let m = Frontend.Codegen.compile_source ctx src in
@@ -30,9 +31,10 @@ let run input passes no_raise timing =
               exit 2)
         passes
   in
-  let m, timings = Pass.run_timed ~verify:true pipeline ctx m in
+  let m, timings = Pass.run_timed ~verify:true ~name:"scalehls-opt" pipeline ctx m in
   Printer.print m;
   if timing then Fmt.pr "@.%a@." Pass.pp_timings timings;
+  if op_stats then Fmt.pr "@.%a@." Op_stats.pp (Op_stats.collect m);
   0
 
 let input =
@@ -50,8 +52,17 @@ let no_raise =
 let timing =
   Arg.(value & flag & info [ "pass-timing" ] ~doc:"Print the pass timing report")
 
+let op_stats =
+  Arg.(
+    value & flag
+    & info [ "print-op-stats" ]
+        ~doc:"Print op/block/region statistics of the final IR, by op name")
+
 let cmd =
   let doc = "ScaleHLS pass driver: HLS-C in, transformed IR out" in
-  Cmd.v (Cmd.info "scalehls-opt" ~doc) Term.(const run $ input $ passes $ no_raise $ timing)
+  Cmd.v (Cmd.info "scalehls-opt" ~doc)
+    Term.(
+      const run $ input $ passes $ no_raise $ timing $ op_stats
+      $ Obs_flags.trace $ Obs_flags.metrics)
 
 let () = exit (Cmd.eval' cmd)

@@ -13,7 +13,8 @@ let read_file path =
   close_in ic;
   s
 
-let run input optimize top output =
+let run input optimize top output trace metrics =
+  Obs_flags.with_obs ~trace ~metrics @@ fun () ->
   let ctx = Ir.Ctx.create () in
   let m = Pipeline.compile_c ctx (read_file input) in
   let m =
@@ -54,6 +55,9 @@ let output =
 
 let cmd =
   let doc = "ScaleHLS C++ emitter: HLS-C in, synthesizable HLS C++ out" in
-  Cmd.v (Cmd.info "scalehls-translate" ~doc) Term.(const run $ input $ optimize $ top $ output)
+  Cmd.v (Cmd.info "scalehls-translate" ~doc)
+    Term.(
+      const run $ input $ optimize $ top $ output $ Obs_flags.trace
+      $ Obs_flags.metrics)
 
 let () = exit (Cmd.eval' cmd)

@@ -56,7 +56,13 @@ type stats = {
   cache_misses : int;  (** points actually evaluated *)
   symbolic_points : int;  (** points evaluated through the symbolic path *)
   fallback_points : int;  (** symbolic bail-outs re-run materialized *)
+  fallback_reasons : (string * int) list;
+      (** why the symbolic model bailed, per {!Unroll_model.Unsupported}
+          reason, sorted by reason *)
   est_memo_hits : int;  (** estimator memo hits (fingerprint-identical modules) *)
+  est_memo_misses : int;  (** ... and misses (estimator actually ran) *)
+  worker_busy : (int * float) list;
+      (** per-worker busy fraction of the run ({!Parpool.busy_fractions}) *)
   stage_seconds : (string * float) list;
       (** cumulative per-stage wall time across all evaluations:
           transform / unroll / cleanup / partition / estimate / pareto *)
@@ -74,6 +80,8 @@ type tally = {
   mutable t_estimate : float;
   mutable t_symbolic : bool;  (** evaluated through the symbolic path *)
   mutable t_fallback : bool;  (** symbolic bailed out; materialized re-run *)
+  mutable t_fallback_reason : string option;
+      (** the {!Unroll_model.Unsupported} payload of the bail-out *)
 }
 
 let tally_zero () =
@@ -85,6 +93,7 @@ let tally_zero () =
     t_estimate = 0.;
     t_symbolic = false;
     t_fallback = false;
+    t_fallback_reason = None;
   }
 
 (** Shared run-wide instrumentation; worker domains merge tallies under the
@@ -99,6 +108,7 @@ type instr = {
   mutable s_pareto : float;
   mutable n_symbolic : int;
   mutable n_fallback : int;
+  reasons : (string, int) Hashtbl.t;  (** fallback reason -> count *)
 }
 
 let instr_create () =
@@ -112,6 +122,7 @@ let instr_create () =
     s_pareto = 0.;
     n_symbolic = 0;
     n_fallback = 0;
+    reasons = Hashtbl.create 8;
   }
 
 let instr_merge (i : instr) (t : tally) =
@@ -123,7 +134,15 @@ let instr_merge (i : instr) (t : tally) =
   i.s_estimate <- i.s_estimate +. t.t_estimate;
   if t.t_symbolic then i.n_symbolic <- i.n_symbolic + 1;
   if t.t_fallback then i.n_fallback <- i.n_fallback + 1;
+  Option.iter
+    (fun r ->
+      Hashtbl.replace i.reasons r
+        (1 + Option.value ~default:0 (Hashtbl.find_opt i.reasons r)))
+    t.t_fallback_reason;
   Mutex.unlock i.lock
+
+let instr_reasons (i : instr) =
+  List.sort compare (Hashtbl.fold (fun r n acc -> (r, n) :: acc) i.reasons [])
 
 let instr_stages (i : instr) =
   [
@@ -284,9 +303,9 @@ let apply_preprocessed ?(symbolic = true) ?tally ctx m ~top (pt : point) :
     match tally with
     | None -> f ()
     | Some t ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = Obs.Clock.now_ns () in
         let r = f () in
-        let dt = Unix.gettimeofday () -. t0 in
+        let dt = Obs.Clock.since_s t0 in
         (match bucket with
         | `Transform -> t.t_transform <- t.t_transform +. dt
         | `Unroll -> t.t_unroll <- t.t_unroll +. dt
@@ -318,8 +337,12 @@ let apply_preprocessed ?(symbolic = true) ?tally ctx m ~top (pt : point) :
           else m3
         in
         finish m3
-    | exception Unroll_model.Unsupported _ ->
-        Option.iter (fun t -> t.t_fallback <- true) tally;
+    | exception Unroll_model.Unsupported reason ->
+        Option.iter
+          (fun t ->
+            t.t_fallback <- true;
+            t.t_fallback_reason <- Some reason)
+          tally;
         materialized m1
   end
 
@@ -493,9 +516,9 @@ let evaluate ?(max_unroll = 256) ?symbolic ?tally ?est_memo ?pre ctx m ~top
         match tally with
         | None -> f ()
         | Some t ->
-            let t0 = Unix.gettimeofday () in
+            let t0 = Obs.Clock.now_ns () in
             let r = f () in
-            t.t_estimate <- t.t_estimate +. (Unix.gettimeofday () -. t0);
+            t.t_estimate <- t.t_estimate +. Obs.Clock.since_s t0;
             r
       in
       let e =
@@ -622,6 +645,43 @@ let neighbors (s : space) (pt : point) : point list =
   in
   ii_neighbors @ tile_neighbors @ perm_neighbors @ flag_neighbors
 
+(* ---- Metrics export ------------------------------------------------------------------ *)
+
+let hit_rate hits misses =
+  let total = hits + misses in
+  if total = 0 then 0. else float_of_int hits /. float_of_int total
+
+(* Publish a finished run's stats into the "dse" metrics registry (counters
+   accumulate across runs in one process; gauges reflect the latest run).
+   Purely observational: never feeds back into the search. *)
+let record_metrics (s : stats) explored =
+  let open Obs.Metrics in
+  let reg = registry "dse" in
+  let bump name v = add (counter reg name) (float_of_int v) in
+  bump "points.explored" explored;
+  bump "eval_cache.hits" s.cache_hits;
+  bump "eval_cache.misses" s.cache_misses;
+  bump "pre_cache.hits" s.pre_hits;
+  bump "pre_cache.misses" s.pre_misses;
+  bump "est_memo.hits" s.est_memo_hits;
+  bump "est_memo.misses" s.est_memo_misses;
+  bump "points.symbolic" s.symbolic_points;
+  bump "points.fallback" s.fallback_points;
+  List.iter
+    (fun (reason, n) -> bump ("fallback_reason." ^ reason) n)
+    s.fallback_reasons;
+  set (gauge reg "eval_cache.hit_rate") (hit_rate s.cache_hits s.cache_misses);
+  set (gauge reg "est_memo.hit_rate") (hit_rate s.est_memo_hits s.est_memo_misses);
+  set (gauge reg "points_per_sec")
+    (float_of_int explored /. Float.max 1e-9 s.wall_seconds);
+  set (gauge reg "jobs") (float_of_int s.jobs);
+  List.iter
+    (fun (i, f) -> set (gauge reg (Printf.sprintf "worker.%d.busy_fraction" i)) f)
+    s.worker_busy;
+  List.iter
+    (fun (stage, secs) -> add (counter reg ("stage_seconds." ^ stage)) secs)
+    s.stage_seconds
+
 (* ---- The engine -------------------------------------------------------------------- *)
 
 (** Run the DSE: [samples] initial random points, then up to [iterations]
@@ -641,7 +701,7 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
     let cores = Domain.recommended_domain_count () in
     if jobs <= 0 then cores else min jobs cores
   in
-  let t_start = Unix.gettimeofday () in
+  let t_start = Obs.Clock.now_ns () in
   let rng = Random.State.make [| seed |] in
   let s = build_space ~max_unroll ~max_ii ctx m ~top in
   let instr = instr_create () in
@@ -683,15 +743,42 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
   (* Re-entrant point evaluation: a fresh context derived from the shared
      preprocessed module, so concurrent evaluations never contend and the
      outcome is a pure function of the (canonical) point. *)
+  let eval_seconds = Obs.Metrics.histogram (Obs.Metrics.registry "dse") "evaluate_seconds" in
   let eval_one pt =
-    let pre = preprocessed pt.lp pt.rvb in
-    let t = tally_zero () in
-    let r =
-      evaluate ~max_unroll ~symbolic ~tally:t ~est_memo ~pre
-        (Ir.Ctx.of_op pre) m ~top ~platform pt
-    in
-    instr_merge instr t;
-    r
+    Obs.Trace.with_span_args ~cat:"dse" "dse.evaluate"
+      ~args:[ ("point", Obs.Json.String (Fmt.str "%a" pp_point pt)) ]
+      (fun () ->
+        let pre = preprocessed pt.lp pt.rvb in
+        let t = tally_zero () in
+        let r, secs =
+          Obs.Clock.time_s (fun () ->
+              evaluate ~max_unroll ~symbolic ~tally:t ~est_memo ~pre
+                (Ir.Ctx.of_op pre) m ~top ~platform pt)
+        in
+        instr_merge instr t;
+        Obs.Metrics.observe eval_seconds secs;
+        let span_args =
+          if not (Obs.Trace.enabled ()) then []
+          else
+            [
+              ("symbolic", Obs.Json.Bool t.t_symbolic);
+              ( "outcome",
+                Obs.Json.String
+                  (match r with
+                  | Some ({ feasible; _ }, _) ->
+                      if feasible then "feasible" else "infeasible"
+                  | None -> "inapplicable") );
+            ]
+            @ (match t.t_fallback_reason with
+              | Some reason -> [ ("fallback_reason", Obs.Json.String reason) ]
+              | None -> [])
+            @
+            match r with
+            | Some (ev, _) ->
+                [ ("latency", Obs.Json.Int ev.estimate.Estimator.latency) ]
+            | None -> []
+        in
+        (r, span_args))
   in
   let evaluated = ref [] in
   let explored = ref 0 in
@@ -799,13 +886,23 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
   (* Frontier extraction is coordinator-only and runs between batches, so
      the unlocked [s_pareto] accumulation never races worker merges. *)
   let pareto_now () =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now_ns () in
     let fr = pareto_frontier !evaluated in
-    instr.s_pareto <- instr.s_pareto +. (Unix.gettimeofday () -. t0);
+    instr.s_pareto <- instr.s_pareto +. Obs.Clock.since_s t0;
     fr
+  in
+  (* Frontier-size evolution: one counter sample per traversal round, so the
+     trace shows the search converging (and the explored count climbing). *)
+  let sample_frontier frontier =
+    Obs.Trace.counter ~cat:"dse" "dse.frontier"
+      [
+        ("size", float_of_int (List.length frontier));
+        ("explored", float_of_int !explored);
+      ]
   in
   while !continue_ && !used < iterations do
     let frontier = pareto_now () in
+    sample_frontier frontier;
     prune_modules frontier;
     match frontier with
     | [] ->
@@ -854,6 +951,7 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
             used := !used + List.length batch)
   done;
   let frontier = pareto_now () in
+  sample_frontier frontier;
   prune_modules frontier;
   let best =
     match frontier with
@@ -873,15 +971,19 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
   let stats =
     {
       jobs = Parpool.jobs pool;
-      wall_seconds = Unix.gettimeofday () -. t_start;
+      wall_seconds = Obs.Clock.since_s t_start;
       pre_hits = Eval_cache.hits pre_cache;
       pre_misses = Eval_cache.misses pre_cache;
       cache_hits = Eval_cache.hits cache;
       cache_misses = Eval_cache.misses cache;
       symbolic_points = instr.n_symbolic;
       fallback_points = instr.n_fallback;
+      fallback_reasons = instr_reasons instr;
       est_memo_hits = Eval_cache.hits est_memo;
+      est_memo_misses = Eval_cache.misses est_memo;
+      worker_busy = Parpool.busy_fractions pool;
       stage_seconds = instr_stages instr;
     }
   in
+  record_metrics stats !explored;
   { best; pareto = frontier; explored = !explored; module_; stats }

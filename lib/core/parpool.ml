@@ -9,6 +9,12 @@
     which makes the [jobs = 1] code path bit-for-bit identical to a plain
     [List.map].
 
+    Every task execution is timed (monotonic clock) into a per-worker busy
+    counter; {!worker_stats} and {!busy_fractions} expose per-worker
+    utilization over the pool's lifetime — the telemetry behind the DSE
+    engine's [worker.N.busy_fraction] metrics. Inline execution (a [jobs <= 1]
+    pool, or a shut-down pool) accounts to worker slot 0.
+
     [map] is not re-entrant: tasks must not themselves call [map] on the same
     pool (they would deadlock waiting for workers that are all busy). *)
 
@@ -20,11 +26,21 @@ type t = {
   batch_done : Condition.t;
   mutable stopping : bool;
   mutable workers : unit Domain.t array;
+  busy_ns : int64 Atomic.t array;  (** per-worker cumulative task time *)
+  created_ns : int64;
 }
 
 let jobs t = t.jobs
 
-let rec worker_loop pool =
+let add_busy pool slot ns =
+  let cell = pool.busy_ns.(slot) in
+  let rec go () =
+    let cur = Atomic.get cell in
+    if not (Atomic.compare_and_set cell cur (Int64.add cur ns)) then go ()
+  in
+  go ()
+
+let rec worker_loop pool slot =
   Mutex.lock pool.lock;
   while Queue.is_empty pool.queue && not pool.stopping do
     Condition.wait pool.work_available pool.lock
@@ -33,8 +49,10 @@ let rec worker_loop pool =
   else begin
     let task = Queue.pop pool.queue in
     Mutex.unlock pool.lock;
+    let t0 = Obs.Clock.now_ns () in
     task ();
-    worker_loop pool
+    add_busy pool slot (Int64.sub (Obs.Clock.now_ns ()) t0);
+    worker_loop pool slot
   end
 
 (** [create ~jobs ()] builds a pool of [jobs] worker domains. [jobs <= 0]
@@ -50,10 +68,13 @@ let create ?(jobs = 1) () =
       batch_done = Condition.create ();
       stopping = false;
       workers = [||];
+      busy_ns = Array.init (max 1 jobs) (fun _ -> Atomic.make 0L);
+      created_ns = Obs.Clock.now_ns ();
     }
   in
   if jobs > 1 then
-    pool.workers <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+    pool.workers <-
+      Array.init jobs (fun i -> Domain.spawn (fun () -> worker_loop pool i));
   pool
 
 (** Evaluate [f] over [xs], in parallel on the pool's workers. Results come
@@ -61,7 +82,12 @@ let create ?(jobs = 1) () =
     order) exception is re-raised on the caller after the batch drains, so
     failure behavior is deterministic too. *)
 let map pool f xs =
-  if Array.length pool.workers = 0 then List.map f xs
+  if Array.length pool.workers = 0 then begin
+    let t0 = Obs.Clock.now_ns () in
+    let r = List.map f xs in
+    add_busy pool 0 (Int64.sub (Obs.Clock.now_ns ()) t0);
+    r
+  end
   else
     match xs with
     | [] -> []
@@ -95,6 +121,26 @@ let map pool f xs =
                | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
                | None -> assert false)
              out)
+
+(* ---- Utilization telemetry ------------------------------------------------- *)
+
+(** Seconds since the pool was created. *)
+let lifetime_s pool = Obs.Clock.since_s pool.created_ns
+
+(** Per-worker cumulative busy seconds, [(worker index, busy_s)]. With
+    [jobs <= 1] there is a single slot 0 covering inline execution. *)
+let worker_stats pool =
+  Array.to_list
+    (Array.mapi
+       (fun i cell -> (i, Obs.Clock.ns_to_s (Atomic.get cell)))
+       pool.busy_ns)
+
+(** Per-worker busy fraction of the pool lifetime so far. Read after the
+    batches of interest complete (and, for exact numbers, before long idle
+    tails). *)
+let busy_fractions pool =
+  let life = Float.max 1e-9 (lifetime_s pool) in
+  List.map (fun (i, busy) -> (i, busy /. life)) (worker_stats pool)
 
 (** Shut the pool down: pending tasks are drained, then workers exit and are
     joined. Mapping on a shut-down pool falls back to inline execution. *)

@@ -66,28 +66,48 @@ let first_failure_of (c : Reduce.candidate) ~prog_seed ~top kind =
     failing program: the first failure, reduced when [reduce] is set). *)
 let run ?(params = Gen.default_params) ?eps ?(dse_every = 0) ?(reduce = false)
     ?(log = fun _ -> ()) ~seed ~iters () : stats * finding list =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_ns () in
+  (* Campaign telemetry: counters accumulate per program / oracle run /
+     verdict / reducer step, and each program runs inside a span so a traced
+     campaign shows where the time goes (generation vs oracles vs reduction). *)
+  let reg = Obs.Metrics.registry "fuzz" in
+  let c_programs = Obs.Metrics.counter reg "programs" in
+  let c_oracle_runs = Obs.Metrics.counter reg "oracle_runs" in
+  let c_failures = Obs.Metrics.counter reg "failures" in
+  let c_reduce_steps = Obs.Metrics.counter reg "reduce.steps" in
   let findings = ref [] in
   let oracle_runs = ref 0 in
+  let count_oracles n =
+    oracle_runs := !oracle_runs + n;
+    Obs.Metrics.add c_oracle_runs (float_of_int n)
+  in
   for i = 0 to iters - 1 do
     let prog_seed = Rng.derive seed i in
-    let p = Gen.program ~params ~seed:prog_seed () in
+    Obs.Trace.with_span ~cat:"fuzz" "fuzz.program"
+      ~args:[ ("prog_seed", Obs.Json.Int prog_seed) ]
+    @@ fun () ->
+    let p =
+      Obs.Trace.with_span ~cat:"fuzz" "fuzz.generate" (fun () ->
+          Gen.program ~params ~seed:prog_seed ())
+    in
+    Obs.Metrics.incr c_programs;
     let cfg = Gen.config p in
     let top = p.Gen.top in
     let failures =
+      Obs.Trace.with_span ~cat:"fuzz" "fuzz.oracles" @@ fun () ->
       let diff =
         Oracle.differential ?eps ~seed:prog_seed p.Gen.module_ ~top
           ~pipeline:cfg.Gen.pipeline
       in
-      incr oracle_runs;
+      count_oracles 1;
       let qor =
         Oracle.qor_pipelining_monotone p.Gen.module_ ~top
         @ Oracle.qor_estimator_agrees p.Gen.module_ ~top
       in
-      oracle_runs := !oracle_runs + 2;
+      count_oracles 2;
       let dse =
         if dse_every > 0 && i mod dse_every = 0 then begin
-          oracle_runs := !oracle_runs + 2;
+          count_oracles 2;
           Oracle.dse_symbolic_equiv ~seed:prog_seed p.Gen.module_ ~top
           @ Oracle.dse_jobs_deterministic ~seed:prog_seed p.Gen.module_ ~top
         end
@@ -101,6 +121,10 @@ let run ?(params = Gen.default_params) ?eps ?(dse_every = 0) ?(reduce = false)
         log
           (Fmt.str "iter %d (prog seed %d): %a" i prog_seed Oracle.pp_failure failure);
         let kind = classify failure in
+        Obs.Metrics.incr c_failures;
+        Obs.Metrics.incr
+          (Obs.Metrics.counter reg
+             ("verdict." ^ Corpus.oracle_kind_to_string kind));
         let reduced, reduced_failure =
           if not reduce then (None, None)
           else begin
@@ -112,9 +136,13 @@ let run ?(params = Gen.default_params) ?eps ?(dse_every = 0) ?(reduce = false)
               }
             in
             let still_fails = still_fails_for ~prog_seed ~top kind in
-            match Reduce.run ~still_fails c0 with
+            match
+              Obs.Trace.with_span ~cat:"fuzz" "fuzz.reduce" (fun () ->
+                  Reduce.run ~still_fails c0)
+            with
             | o ->
                 let c = o.Reduce.reduced in
+                Obs.Metrics.add c_reduce_steps (float_of_int o.Reduce.steps);
                 log
                   (Fmt.str "  reduced: size %d -> %d in %d steps"
                      o.Reduce.initial_size o.Reduce.final_size o.Reduce.steps);
@@ -134,7 +162,7 @@ let run ?(params = Gen.default_params) ?eps ?(dse_every = 0) ?(reduce = false)
       programs = iters;
       oracle_runs = !oracle_runs;
       failures = List.length !findings;
-      elapsed = Unix.gettimeofday () -. t0;
+      elapsed = Obs.Clock.since_s t0;
     }
   in
   (stats, List.rev !findings)

@@ -1,0 +1,22 @@
+(** Monotonic time for all instrumentation. Every timestamp and duration in
+    the tracing/metrics layer comes from CLOCK_MONOTONIC (via the C stub
+    shipped with bechamel), never from [Unix.gettimeofday]: intervals cannot
+    go negative or jump when the wall clock steps (NTP slew, suspend). *)
+
+(** Nanoseconds from an arbitrary (boot-time) origin; strictly usable only
+    for differences. *)
+let now_ns : unit -> int64 = Monotonic_clock.now
+
+let ns_to_s ns = Int64.to_float ns /. 1e9
+
+(** Microseconds as a float — the unit of Chrome [trace_event] timestamps. *)
+let ns_to_us ns = Int64.to_float ns /. 1e3
+
+(** Seconds elapsed since a [now_ns] reading. *)
+let since_s t0 = ns_to_s (Int64.sub (now_ns ()) t0)
+
+(** Time a thunk; returns its result and the elapsed seconds. *)
+let time_s f =
+  let t0 = now_ns () in
+  let r = f () in
+  (r, since_s t0)

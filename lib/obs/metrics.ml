@@ -1,0 +1,200 @@
+(** Typed metrics in named registries: monotonic counters, gauges, and
+    summary histograms. Counters and gauges are lock-free (a CAS loop over an
+    [Atomic] cell) and safe to bump from any domain; histogram observations
+    serialize on a per-histogram mutex (observations are rare relative to the
+    work they measure). Instruments are get-or-create by (registry, name) —
+    looking the same name up twice returns the same cell, so modules can
+    re-resolve instruments without threading handles around.
+
+    Unlike tracing, metrics are always on: an increment is a few nanoseconds,
+    and the cells only turn into output when an exporter ({!write_jsonl},
+    {!pp_summary}) is asked for them. *)
+
+type counter = { c_v : float Atomic.t }
+type gauge = { g_v : float Atomic.t }
+
+type histogram = {
+  h_lock : Mutex.t;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+type registry = {
+  r_name : string;
+  r_lock : Mutex.t;
+  mutable r_items : (string * instrument) list;  (** insertion order, newest first *)
+}
+
+let registries_lock = Mutex.create ()
+let all_registries : registry list ref = ref []
+
+(** The registry named [name], created on first use. *)
+let registry name =
+  Mutex.lock registries_lock;
+  let r =
+    match List.find_opt (fun r -> r.r_name = name) !all_registries with
+    | Some r -> r
+    | None ->
+        let r = { r_name = name; r_lock = Mutex.create (); r_items = [] } in
+        all_registries := r :: !all_registries;
+        r
+  in
+  Mutex.unlock registries_lock;
+  r
+
+let registries () =
+  Mutex.lock registries_lock;
+  let rs = !all_registries in
+  Mutex.unlock registries_lock;
+  List.sort (fun a b -> compare a.r_name b.r_name) rs
+
+(** Drop every registry (test isolation; running instruments handed out
+    earlier keep working but are no longer exported). *)
+let reset () =
+  Mutex.lock registries_lock;
+  all_registries := [];
+  Mutex.unlock registries_lock
+
+let find_or_make r name make classify =
+  Mutex.lock r.r_lock;
+  let i =
+    match List.assoc_opt name r.r_items with
+    | Some i -> i
+    | None ->
+        let i = make () in
+        r.r_items <- (name, i) :: r.r_items;
+        i
+  in
+  Mutex.unlock r.r_lock;
+  match classify i with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Obs.Metrics: %s/%s already exists with another type"
+           r.r_name name)
+
+let counter r name =
+  find_or_make r name
+    (fun () -> C { c_v = Atomic.make 0. })
+    (function C c -> Some c | _ -> None)
+
+let gauge r name =
+  find_or_make r name
+    (fun () -> G { g_v = Atomic.make 0. })
+    (function G g -> Some g | _ -> None)
+
+let histogram r name =
+  find_or_make r name
+    (fun () ->
+      H
+        {
+          h_lock = Mutex.create ();
+          h_count = 0;
+          h_sum = 0.;
+          h_min = Float.infinity;
+          h_max = Float.neg_infinity;
+        })
+    (function H h -> Some h | _ -> None)
+
+(* CAS loop: [Atomic.compare_and_set] on the boxed float compares the box we
+   just read, so the update is atomic under contention from any number of
+   domains. *)
+let rec atomic_add cell d =
+  let cur = Atomic.get cell in
+  if not (Atomic.compare_and_set cell cur (cur +. d)) then atomic_add cell d
+
+let add c d = atomic_add c.c_v d
+let incr c = add c 1.
+let value c = Atomic.get c.c_v
+let set g v = Atomic.set g.g_v v
+let gauge_value g = Atomic.get g.g_v
+
+let observe h v =
+  Mutex.lock h.h_lock;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  Mutex.unlock h.h_lock
+
+(* ---- Export --------------------------------------------------------------- *)
+
+let instrument_fields = function
+  | C c -> [ ("type", Json.String "counter"); ("value", Json.Float (value c)) ]
+  | G g -> [ ("type", Json.String "gauge"); ("value", Json.Float (gauge_value g)) ]
+  | H h ->
+      Mutex.lock h.h_lock;
+      let count = h.h_count and sum = h.h_sum and mn = h.h_min and mx = h.h_max in
+      Mutex.unlock h.h_lock;
+      [
+        ("type", Json.String "histogram");
+        ("count", Json.Int count);
+        ("sum", Json.Float sum);
+        ("min", Json.Float (if count = 0 then 0. else mn));
+        ("max", Json.Float (if count = 0 then 0. else mx));
+        ("mean", Json.Float (if count = 0 then 0. else sum /. float_of_int count));
+      ]
+
+(** One JSON object per metric:
+    [{"registry": ..., "metric": ..., "type": ..., ...}], metrics in
+    registration order within each registry. *)
+let rows () =
+  List.concat_map
+    (fun r ->
+      Mutex.lock r.r_lock;
+      let items = List.rev r.r_items in
+      Mutex.unlock r.r_lock;
+      List.map
+        (fun (name, i) ->
+          Json.Obj
+            ([ ("registry", Json.String r.r_name); ("metric", Json.String name) ]
+            @ instrument_fields i))
+        items)
+    (registries ())
+
+(** Write the metrics as JSON Lines (one object per line). *)
+let write_jsonl path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun row ->
+          output_string oc (Json.to_string row);
+          output_char oc '\n')
+        (rows ()))
+
+let pp_value fmt = function
+  | C c -> Fmt.pf fmt "%.6g" (value c)
+  | G g -> Fmt.pf fmt "%.6g" (gauge_value g)
+  | H h ->
+      Mutex.lock h.h_lock;
+      let count = h.h_count and sum = h.h_sum and mn = h.h_min and mx = h.h_max in
+      Mutex.unlock h.h_lock;
+      if count = 0 then Fmt.pf fmt "count=0"
+      else
+        Fmt.pf fmt "count=%d mean=%.6g min=%.6g max=%.6g" count
+          (sum /. float_of_int count)
+          mn mx
+
+(** Human-readable dump of every registry. *)
+let pp_summary fmt () =
+  List.iter
+    (fun r ->
+      Mutex.lock r.r_lock;
+      let items = List.rev r.r_items in
+      Mutex.unlock r.r_lock;
+      if items <> [] then begin
+        Fmt.pf fmt "[%s]@\n" r.r_name;
+        let width =
+          List.fold_left (fun w (n, _) -> max w (String.length n)) 0 items
+        in
+        List.iter
+          (fun (name, i) -> Fmt.pf fmt "  %-*s  %a@\n" width name pp_value i)
+          items
+      end)
+    (registries ())

@@ -1,0 +1,42 @@
+(** The shared exporter entry point for the command-line tools. Every binary
+    wraps its work in {!run}: when a trace or metrics destination is
+    requested (by flag or by the [SCALEHLS_TRACE] / [SCALEHLS_METRICS]
+    environment variables), tracing is switched on for the duration and the
+    Chrome trace JSON, the metrics JSONL, and a human-readable summary on
+    stderr are written on the way out — including when the wrapped work
+    raises, so a crashing run still leaves its trace behind. *)
+
+let env_trace = "SCALEHLS_TRACE"
+let env_metrics = "SCALEHLS_METRICS"
+
+let resolve opt env =
+  match opt with Some _ -> opt | None -> Sys.getenv_opt env
+
+(** [run ~trace ~metrics f] — [trace]/[metrics] are the [--trace FILE] /
+    [--metrics FILE] values ([None] falls back to the environment). Tracing
+    is enabled only when a trace destination exists; metrics instruments are
+    always live and are simply exported (or not) at the end. *)
+let run ~trace ~metrics f =
+  let trace = resolve trace env_trace in
+  let metrics = resolve metrics env_metrics in
+  if Option.is_some trace then begin
+    Trace.reset ();
+    Trace.enable ()
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Option.iter
+        (fun path ->
+          Trace.write_chrome path;
+          Fmt.epr "trace: wrote %s (load in chrome://tracing or ui.perfetto.dev)@."
+            path)
+        trace;
+      Option.iter
+        (fun path ->
+          Metrics.write_jsonl path;
+          Fmt.epr "metrics: wrote %s@." path)
+        metrics;
+      if trace <> None || metrics <> None then
+        Fmt.epr "===- Metrics summary -===@\n%a@." Metrics.pp_summary ())
+    f

@@ -1,0 +1,241 @@
+(** The span tracer. Spans, instants, and counter samples are recorded into
+    per-domain buffers — each domain appends to its own buffer without taking
+    any lock (the global mutex is touched once per domain, at buffer
+    registration) — and merged deterministically at flush: events sort by
+    (timestamp, domain id, per-domain sequence number), so two flushes of the
+    same buffers agree, and the per-domain sequence keeps the order total even
+    when the clock ties.
+
+    Tracing is off by default; {!with_span} is a single [Atomic.get] away from
+    a plain call in that state, which is what keeps the instrumented hot paths
+    within noise of the uninstrumented ones. When enabled, events accumulate
+    until {!write_chrome} (Chrome [trace_event] JSON, loadable in
+    [chrome://tracing] and Perfetto) or {!events} drains them.
+
+    Flushing is meant to happen after parallel sections complete (worker
+    domains joined, e.g. after [Parpool.with_pool] returns): the join gives
+    the happens-before edge that makes worker buffers safe to read. *)
+
+type phase = Complete | Instant | Counter
+
+type event = {
+  phase : phase;
+  name : string;
+  cat : string;
+  ts : int64;  (** ns since the trace epoch ({!enable}) *)
+  dur : int64;  (** ns; meaningful for [Complete] only *)
+  tid : int;  (** recording domain's id *)
+  seq : int;  (** per-domain sequence number (merge tie-break) *)
+  args : (string * Json.t) list;
+}
+
+type buffer = {
+  b_tid : int;
+  b_gen : int;
+  mutable b_seq : int;
+  mutable b_events : event list;  (** newest first *)
+}
+
+let enabled_flag = Atomic.make false
+let generation = Atomic.make 0
+let epoch = Atomic.make 0L
+let main_tid = Atomic.make (-1)
+let lock = Mutex.create ()
+let buffers : buffer list ref = ref []
+let dls_key : buffer option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let enabled () = Atomic.get enabled_flag
+
+(* The calling domain's buffer, registering it on first use (or after a
+   {!reset} invalidated the cached one). *)
+let buffer () =
+  let cell = Domain.DLS.get dls_key in
+  match !cell with
+  | Some b when b.b_gen = Atomic.get generation -> b
+  | _ ->
+      let b =
+        {
+          b_tid = (Domain.self () :> int);
+          b_gen = Atomic.get generation;
+          b_seq = 0;
+          b_events = [];
+        }
+      in
+      Mutex.lock lock;
+      buffers := b :: !buffers;
+      Mutex.unlock lock;
+      cell := Some b;
+      b
+
+let next_seq b =
+  let s = b.b_seq in
+  b.b_seq <- s + 1;
+  s
+
+let emit b e = b.b_events <- e :: b.b_events
+let rel ns = Int64.sub ns (Atomic.get epoch)
+
+(** Start a fresh trace: drop all recorded events and invalidate every
+    domain's cached buffer. *)
+let reset () =
+  Mutex.lock lock;
+  Atomic.incr generation;
+  buffers := [];
+  Mutex.unlock lock
+
+(** Turn recording on; the current instant becomes timestamp 0. *)
+let enable () =
+  Atomic.set epoch (Clock.now_ns ());
+  Atomic.set main_tid (Domain.self () :> int);
+  Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+
+(** [with_span_args name f] runs [f] inside a span. [f] returns the value
+    plus extra span arguments computed during the run (IR statistics, cache
+    outcomes, ...); with tracing disabled those extras are dropped — guard
+    any expensive computation of them behind {!enabled}. An escaping
+    exception still closes the span, tagged with an ["error"] argument. *)
+let with_span_args ?(cat = "") ?(args = []) name f =
+  if not (Atomic.get enabled_flag) then fst (f ())
+  else begin
+    let b = buffer () in
+    let t0 = Clock.now_ns () in
+    let finish extra =
+      let t1 = Clock.now_ns () in
+      emit b
+        {
+          phase = Complete;
+          name;
+          cat;
+          ts = rel t0;
+          dur = Int64.sub t1 t0;
+          tid = b.b_tid;
+          seq = next_seq b;
+          args = args @ extra;
+        }
+    in
+    match f () with
+    | v, extra ->
+        finish extra;
+        v
+    | exception e ->
+        finish [ ("error", Json.String (Printexc.to_string e)) ];
+        raise e
+  end
+
+let with_span ?cat ?args name f = with_span_args ?cat ?args name (fun () -> (f (), []))
+
+(** A zero-duration marker. *)
+let instant ?(cat = "") ?(args = []) name =
+  if Atomic.get enabled_flag then begin
+    let b = buffer () in
+    emit b
+      {
+        phase = Instant;
+        name;
+        cat;
+        ts = rel (Clock.now_ns ());
+        dur = 0L;
+        tid = b.b_tid;
+        seq = next_seq b;
+        args;
+      }
+  end
+
+(** A counter sample (Chrome renders these as stacked time series — used for
+    e.g. the DSE frontier-size evolution). *)
+let counter ?(cat = "") name values =
+  if Atomic.get enabled_flag then begin
+    let b = buffer () in
+    emit b
+      {
+        phase = Counter;
+        name;
+        cat;
+        ts = rel (Clock.now_ns ());
+        dur = 0L;
+        tid = b.b_tid;
+        seq = next_seq b;
+        args = List.map (fun (k, v) -> (k, Json.Float v)) values;
+      }
+  end
+
+(** All recorded events, merged across domains into the deterministic order
+    (timestamp, domain, sequence). Call after worker domains are joined. *)
+let events () =
+  Mutex.lock lock;
+  let bufs = !buffers in
+  Mutex.unlock lock;
+  let all = List.concat_map (fun b -> List.rev b.b_events) bufs in
+  List.sort
+    (fun a b ->
+      match Int64.compare a.ts b.ts with
+      | 0 -> ( match compare a.tid b.tid with 0 -> compare a.seq b.seq | c -> c)
+      | c -> c)
+    all
+
+(* ---- Chrome trace_event export ------------------------------------------- *)
+
+let phase_str = function Complete -> "X" | Instant -> "i" | Counter -> "C"
+
+let event_json e =
+  let base =
+    [
+      ("name", Json.String e.name);
+      ("cat", Json.String (if e.cat = "" then "default" else e.cat));
+      ("ph", Json.String (phase_str e.phase));
+      ("ts", Json.Float (Clock.ns_to_us e.ts));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int e.tid);
+    ]
+  in
+  let dur =
+    match e.phase with
+    | Complete -> [ ("dur", Json.Float (Clock.ns_to_us e.dur)) ]
+    | _ -> []
+  in
+  let scope = match e.phase with Instant -> [ ("s", Json.String "t") ] | _ -> [] in
+  let args = match e.args with [] -> [] | l -> [ ("args", Json.Obj l) ] in
+  Json.Obj (base @ dur @ scope @ args)
+
+(** The whole trace as a Chrome [trace_event] JSON object, with thread-name
+    metadata naming the coordinator and worker-domain lanes. *)
+let to_chrome () =
+  let evs = events () in
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> e.tid) evs)
+  in
+  let main = Atomic.get main_tid in
+  let meta =
+    List.map
+      (fun tid ->
+        Json.Obj
+          [
+            ("name", Json.String "thread_name");
+            ("ph", Json.String "M");
+            ("pid", Json.Int 1);
+            ("tid", Json.Int tid);
+            ( "args",
+              Json.Obj
+                [
+                  ( "name",
+                    Json.String
+                      (if tid = main then "coordinator"
+                       else Printf.sprintf "worker domain %d" tid) );
+                ] );
+          ])
+      tids
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ List.map event_json evs));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+(** Write the Chrome trace JSON to [path]. *)
+let write_chrome path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string (to_chrome ())))

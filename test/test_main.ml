@@ -13,4 +13,5 @@ let () =
       Test_lower.suite;
       Test_qor_ml.suite;
       Test_fuzz.suite;
+      Test_obs.suite;
     ]

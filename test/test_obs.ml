@@ -1,0 +1,457 @@
+(* Tests for the observability layer (lib/obs) and its integration with the
+   pass manager and the parallel pool: clock monotonicity, span recording and
+   deterministic cross-domain merging, metrics aggregation under domain
+   contention, Chrome trace / metrics JSONL well-formedness, and the
+   PassInstrumentation hook ordering. *)
+
+open Mir
+open Scalehls
+open Helpers
+
+(* Tracing is process-global state; every test that enables it must leave it
+   disabled and empty so the rest of the suite observes the default-off
+   fast path. *)
+let with_tracing f =
+  Obs.Trace.reset ();
+  Obs.Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.disable ();
+      Obs.Trace.reset ())
+    f
+
+(* ---- Clock ---------------------------------------------------------------- *)
+
+let test_clock_monotonic () =
+  let prev = ref (Obs.Clock.now_ns ()) in
+  for _ = 1 to 1000 do
+    let t = Obs.Clock.now_ns () in
+    if Int64.compare t !prev < 0 then
+      Alcotest.failf "clock went backwards: %Ld then %Ld" !prev t;
+    prev := t
+  done;
+  let (), dt = Obs.Clock.time_s (fun () -> Sys.opaque_identity (ignore (Sys.opaque_identity 1))) in
+  Alcotest.(check bool) "time_s non-negative" true (dt >= 0.);
+  let t0 = Obs.Clock.now_ns () in
+  Alcotest.(check bool) "since_s non-negative" true (Obs.Clock.since_s t0 >= 0.)
+
+(* ---- Spans: single-domain nesting ----------------------------------------- *)
+
+let test_span_nesting () =
+  with_tracing @@ fun () ->
+  let r =
+    Obs.Trace.with_span ~cat:"t" "outer" (fun () ->
+        Obs.Trace.with_span ~cat:"t" "inner" (fun () -> 41) + 1)
+  in
+  Alcotest.(check int) "span returns value" 42 r;
+  let evs = Obs.Trace.events () in
+  let find name = List.find (fun e -> e.Obs.Trace.name = name) evs in
+  let outer = find "outer" and inner = find "inner" in
+  (* merged order is (ts, tid, seq): the outer span starts first *)
+  Alcotest.(check string) "outer sorts first" "outer" (List.hd evs).Obs.Trace.name;
+  let ends e = Int64.add e.Obs.Trace.ts e.Obs.Trace.dur in
+  Alcotest.(check bool) "inner starts inside outer" true
+    (Int64.compare outer.Obs.Trace.ts inner.Obs.Trace.ts <= 0);
+  Alcotest.(check bool) "inner ends inside outer" true
+    (Int64.compare (ends inner) (ends outer) <= 0)
+
+let test_span_exception () =
+  with_tracing @@ fun () ->
+  (try Obs.Trace.with_span "boom" (fun () -> failwith "no") with Failure _ -> ());
+  let evs = Obs.Trace.events () in
+  let e = List.find (fun e -> e.Obs.Trace.name = "boom") evs in
+  Alcotest.(check bool) "error arg recorded" true
+    (List.mem_assoc "error" e.Obs.Trace.args)
+
+let test_span_disabled_is_transparent () =
+  Obs.Trace.reset ();
+  (* disabled: spans neither record nor perturb the result *)
+  let r = Obs.Trace.with_span "ghost" (fun () -> 7) in
+  Alcotest.(check int) "value through disabled span" 7 r;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Obs.Trace.events ()))
+
+(* ---- Spans under the pool: deterministic cross-domain merge --------------- *)
+
+let test_span_parpool () =
+  with_tracing @@ fun () ->
+  let n = 30 in
+  let out =
+    Parpool.with_pool ~jobs:3 (fun pool ->
+        Parpool.map pool
+          (fun i ->
+            Obs.Trace.with_span ~cat:"t" "work"
+              ~args:[ ("i", Obs.Json.Int i) ]
+              (fun () -> i * i))
+          (List.init n Fun.id))
+  in
+  Alcotest.(check (list int)) "map results ordered" (List.init n (fun i -> i * i)) out;
+  (* flush after with_pool: workers are joined, buffers are safe *)
+  let evs =
+    List.filter (fun e -> e.Obs.Trace.name = "work") (Obs.Trace.events ())
+  in
+  Alcotest.(check int) "one span per task" n (List.length evs);
+  let indices =
+    List.sort compare
+      (List.filter_map
+         (fun e ->
+           match List.assoc_opt "i" e.Obs.Trace.args with
+           | Some (Obs.Json.Int i) -> Some i
+           | _ -> None)
+         evs)
+  in
+  Alcotest.(check (list int)) "every task index appears once" (List.init n Fun.id) indices;
+  (* the merge is a total order: within a tid, seq strictly increases *)
+  let last : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      (match Hashtbl.find_opt last e.Obs.Trace.tid with
+      | Some s when s >= e.Obs.Trace.seq ->
+          Alcotest.failf "tid %d: seq %d after %d" e.Obs.Trace.tid e.Obs.Trace.seq s
+      | _ -> ());
+      Hashtbl.replace last e.Obs.Trace.tid e.Obs.Trace.seq)
+    evs;
+  (* two flushes of the same buffers agree exactly *)
+  let again =
+    List.filter (fun e -> e.Obs.Trace.name = "work") (Obs.Trace.events ())
+  in
+  Alcotest.(check bool) "flush is deterministic" true (evs = again)
+
+(* ---- Metrics -------------------------------------------------------------- *)
+
+let test_counter_across_domains () =
+  Obs.Metrics.reset ();
+  let reg = Obs.Metrics.registry "test" in
+  let c = Obs.Metrics.counter reg "hits" in
+  let jobs = 4 and per_task = 250 in
+  Parpool.with_pool ~jobs (fun pool ->
+      ignore
+        (Parpool.map pool
+           (fun _ ->
+             (* re-resolve by name on the worker: same cell *)
+             let c' = Obs.Metrics.counter (Obs.Metrics.registry "test") "hits" in
+             for _ = 1 to per_task do
+               Obs.Metrics.incr c'
+             done)
+           (List.init (2 * jobs) Fun.id)));
+  Alcotest.(check (float 0.0)) "no lost increments"
+    (float_of_int (2 * jobs * per_task))
+    (Obs.Metrics.value c);
+  Obs.Metrics.reset ()
+
+let test_metrics_types () =
+  Obs.Metrics.reset ();
+  let reg = Obs.Metrics.registry "test" in
+  let g = Obs.Metrics.gauge reg "level" in
+  Obs.Metrics.set g 2.5;
+  Alcotest.(check (float 0.0)) "gauge holds last value" 2.5 (Obs.Metrics.gauge_value g);
+  let h = Obs.Metrics.histogram reg "lat" in
+  List.iter (Obs.Metrics.observe h) [ 1.0; 3.0; 2.0 ];
+  (* same (registry, name) resolves to the same instrument *)
+  let g' = Obs.Metrics.gauge (Obs.Metrics.registry "test") "level" in
+  Alcotest.(check (float 0.0)) "get-or-create returns same cell" 2.5
+    (Obs.Metrics.gauge_value g');
+  (* a name can't silently change type *)
+  (match Obs.Metrics.counter reg "level" with
+  | _ -> Alcotest.fail "type clash not detected"
+  | exception Invalid_argument _ -> ());
+  Obs.Metrics.reset ()
+
+let test_metrics_jsonl () =
+  Obs.Metrics.reset ();
+  let reg = Obs.Metrics.registry "test" in
+  Obs.Metrics.add (Obs.Metrics.counter reg "n") 3.;
+  Obs.Metrics.set (Obs.Metrics.gauge reg "rate") 0.75;
+  Obs.Metrics.observe (Obs.Metrics.histogram reg "lat") 0.5;
+  let path = Filename.temp_file "obs_metrics" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      Obs.Metrics.reset ())
+    (fun () ->
+      Obs.Metrics.write_jsonl path;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check int) "one row per metric" 3 (List.length lines);
+      List.iter
+        (fun line ->
+          match Obs.Json.of_string line with
+          | Error msg -> Alcotest.failf "bad JSONL row %S: %s" line msg
+          | Ok row ->
+              List.iter
+                (fun key ->
+                  if Obs.Json.member key row = None then
+                    Alcotest.failf "row missing %S: %s" key line)
+                [ "registry"; "metric"; "type" ])
+        lines;
+      (* histogram rows carry the summary fields *)
+      let hist =
+        List.find
+          (fun l -> contains ~needle:"\"histogram\"" l)
+          lines
+      in
+      match Obs.Json.of_string hist with
+      | Ok row ->
+          List.iter
+            (fun key ->
+              if Obs.Json.member key row = None then
+                Alcotest.failf "histogram row missing %S" key)
+            [ "count"; "sum"; "min"; "max"; "mean" ]
+      | Error msg -> Alcotest.failf "bad histogram row: %s" msg)
+
+(* ---- Chrome trace export -------------------------------------------------- *)
+
+let test_chrome_trace_json () =
+  let path = Filename.temp_file "obs_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      with_tracing (fun () ->
+          Obs.Trace.with_span ~cat:"t" "a" (fun () ->
+              Obs.Trace.with_span ~cat:"t" "b" ignore);
+          Obs.Trace.instant ~cat:"t" "mark";
+          Obs.Trace.counter ~cat:"t" "gaugeish" [ ("x", 3.0) ];
+          Obs.Trace.write_chrome path);
+      let ic = open_in_bin path in
+      let raw = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Obs.Json.of_string raw with
+      | Error msg -> Alcotest.failf "trace is not valid JSON: %s" msg
+      | Ok doc -> (
+          match Obs.Json.member "traceEvents" doc with
+          | Some (Obs.Json.List evs) ->
+              Alcotest.(check bool) "has events" true (List.length evs >= 4);
+              List.iter
+                (fun ev ->
+                  List.iter
+                    (fun key ->
+                      if Obs.Json.member key ev = None then
+                        Alcotest.failf "event missing %S: %s" key
+                          (Obs.Json.to_string ev))
+                    [ "name"; "ph"; "pid"; "tid" ];
+                  match Obs.Json.member "ph" ev with
+                  | Some (Obs.Json.String "X") ->
+                      let num key =
+                        match Option.bind (Obs.Json.member key ev) Obs.Json.to_float_opt with
+                        | Some v -> v
+                        | None -> Alcotest.failf "X event missing numeric %S" key
+                      in
+                      Alcotest.(check bool) "ts >= 0" true (num "ts" >= 0.);
+                      Alcotest.(check bool) "dur >= 0" true (num "dur" >= 0.)
+                  | _ -> ())
+                evs;
+              let names =
+                List.filter_map
+                  (fun ev ->
+                    match Obs.Json.member "name" ev with
+                    | Some (Obs.Json.String s) -> Some s
+                    | _ -> None)
+                  evs
+              in
+              List.iter
+                (fun expected ->
+                  Alcotest.(check bool) (expected ^ " present") true
+                    (List.mem expected names))
+                [ "thread_name"; "a"; "b"; "mark"; "gaugeish" ]
+          | _ -> Alcotest.fail "no traceEvents array"))
+
+let test_json_roundtrip () =
+  let v =
+    Obs.Json.(
+      Obj
+        [
+          ("s", String "a\"b\\c\nd");
+          ("i", Int (-42));
+          ("f", Float 1.5);
+          ("whole", Float 3.0);
+          ("b", Bool true);
+          ("n", Null);
+          ("l", List [ Int 1; String "x"; Obj [] ]);
+        ])
+  in
+  match Obs.Json.of_string (Obs.Json.to_string v) with
+  | Error msg -> Alcotest.failf "roundtrip parse failed: %s" msg
+  | Ok v' ->
+      (* integral floats intentionally reparse as Int *)
+      let expect =
+        Obs.Json.(
+          Obj
+            [
+              ("s", String "a\"b\\c\nd");
+              ("i", Int (-42));
+              ("f", Float 1.5);
+              ("whole", Int 3);
+              ("b", Bool true);
+              ("n", Null);
+              ("l", List [ Int 1; String "x"; Obj [] ]);
+            ])
+      in
+      Alcotest.(check bool) "roundtrip" true (v' = expect);
+      (match Obs.Json.of_string "{\"a\": }" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "accepted malformed JSON");
+      match Obs.Json.of_string "{} trailing" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "accepted trailing garbage"
+
+(* ---- Op statistics -------------------------------------------------------- *)
+
+let test_op_stats () =
+  let _ctx, m = compile_kernel (Models.Polybench.of_name "gemm") ~n:4 in
+  let s = Op_stats.collect m in
+  Alcotest.(check bool) "counts ops" true (s.Op_stats.ops > 0);
+  Alcotest.(check bool) "counts blocks" true (s.Op_stats.blocks > 0);
+  Alcotest.(check bool) "affine dialect present" true
+    (List.mem_assoc "affine" s.Op_stats.by_dialect);
+  let total_by_name = List.fold_left (fun a (_, c) -> a + c) 0 s.Op_stats.by_name in
+  Alcotest.(check int) "by_name sums to ops" s.Op_stats.ops total_by_name;
+  let d = Op_stats.diff ~before:s ~after:s in
+  Alcotest.(check int) "self-diff ops" 0 d.Op_stats.ops;
+  Alcotest.(check (list (pair string int))) "self-diff by_name empty" [] d.Op_stats.by_name;
+  Alcotest.(check string) "dialect of qualified name" "affine" (Op_stats.dialect_of "affine.for");
+  Alcotest.(check string) "dialect of bare name" "builtin" (Op_stats.dialect_of "module")
+
+(* ---- Pass manager integration --------------------------------------------- *)
+
+let ident name = Pass.make name (fun _ m -> m)
+
+let test_instrumentation_ordering () =
+  let _ctx, m = compile_c_affine "void f(float a[4]) { a[0] = 1.0f; }" in
+  let log = ref [] in
+  let note tag name _m = log := (tag ^ ":" ^ name) :: !log in
+  Pass.clear_instrumentations ();
+  Pass.register_instrumentation
+    (Pass.instrumentation ~before_pipeline:(note "bP") ~after_pipeline:(note "aP")
+       ~before_pass:(note "bp") ~after_pass:(note "ap") ());
+  Fun.protect ~finally:Pass.clear_instrumentations @@ fun () ->
+  let ctx = Ir.Ctx.create () in
+  ignore (Pass.run_pipeline ~name:"pipe" [ ident "one"; ident "two" ] ctx m);
+  Alcotest.(check (list string)) "hook ordering"
+    [ "bP:pipe"; "bp:one"; "ap:one"; "bp:two"; "ap:two"; "aP:pipe" ]
+    (List.rev !log)
+
+let test_pass_spans () =
+  let _ctx, m = compile_c_affine "void f(float a[4]) { for (int i = 0; i < 4; i++) a[i] = 0.0f; }" in
+  let ctx = Ir.Ctx.create () in
+  with_tracing @@ fun () ->
+  ignore (Pass.run_pipeline ~name:"pipe" [ ident "one"; ident "two" ] ctx m);
+  let evs = Obs.Trace.events () in
+  let names = List.map (fun e -> e.Obs.Trace.name) evs in
+  Alcotest.(check bool) "pipeline span" true (List.mem "pipe" names);
+  Alcotest.(check bool) "pass spans" true
+    (List.mem "pass:one" names && List.mem "pass:two" names);
+  let span = List.find (fun e -> e.Obs.Trace.name = "pass:one") evs in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " arg present") true
+        (List.mem_assoc key span.Obs.Trace.args))
+    [ "pass_ms"; "verify_ms"; "ops"; "delta_ops"; "by_dialect" ];
+  (* identity pass: the recorded delta is zero *)
+  match List.assoc "delta_ops" span.Obs.Trace.args with
+  | Obs.Json.Int 0 -> ()
+  | j -> Alcotest.failf "identity pass delta_ops = %s" (Obs.Json.to_string j)
+
+let test_pp_timings_aggregation () =
+  let ts =
+    [
+      { Pass.label = "canonicalize"; seconds = 0.5 };
+      { Pass.label = "loop-unroll"; seconds = 0.25 };
+      { Pass.label = "canonicalize"; seconds = 0.25 };
+    ]
+  in
+  let out = Fmt.str "%a" Pass.pp_timings ts in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "report contains %S" needle) true
+        (contains ~needle out))
+    [
+      "Pass execution timing report";
+      "Total Execution Time: 1.0000 seconds";
+      "canonicalize (2 runs)";
+      "( 75.0%)";
+      "( 25.0%)";
+      "(100.0%)  Total";
+    ];
+  (* repeated labels fold into one line *)
+  let occurrences needle hay =
+    let rec go i acc =
+      if i + String.length needle > String.length hay then acc
+      else if String.sub hay i (String.length needle) = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "one aggregated line" 1 (occurrences "canonicalize" out)
+
+(* ---- Traced DSE smoke ----------------------------------------------------- *)
+
+let test_traced_dse () =
+  let ctx = Ir.Ctx.create () in
+  let kernel = Models.Polybench.of_name "gemm" in
+  let m = Pipeline.compile_c ctx (Models.Polybench.source kernel ~n:4) in
+  Obs.Metrics.reset ();
+  let r =
+    with_tracing (fun () ->
+        Dse.run ~samples:4 ~iterations:4 ~seed:1 ctx m ~top:"gemm"
+          ~platform:Vhls.Platform.xc7z020)
+  in
+  Alcotest.(check bool) "explored points" true (r.Dse.explored > 0)
+
+let test_traced_dse_events () =
+  let ctx = Ir.Ctx.create () in
+  let kernel = Models.Polybench.of_name "gemm" in
+  let m = Pipeline.compile_c ctx (Models.Polybench.source kernel ~n:4) in
+  Obs.Metrics.reset ();
+  Obs.Trace.reset ();
+  Obs.Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.disable ();
+      Obs.Trace.reset ();
+      Obs.Metrics.reset ())
+    (fun () ->
+      let r =
+        Dse.run ~samples:4 ~iterations:4 ~seed:1 ctx m ~top:"gemm"
+          ~platform:Vhls.Platform.xc7z020
+      in
+      Obs.Trace.disable ();
+      let evs = Obs.Trace.events () in
+      let count name = List.length (List.filter (fun e -> e.Obs.Trace.name = name) evs) in
+      Alcotest.(check int) "one evaluate span per explored point" r.Dse.explored
+        (count "dse.evaluate");
+      Alcotest.(check bool) "frontier counter samples" true (count "dse.frontier" > 0);
+      Alcotest.(check bool) "pass sub-spans recorded" true
+        (List.exists
+           (fun e -> contains ~needle:"pass:" e.Obs.Trace.name)
+           evs);
+      (* the always-on metrics side recorded the same exploration *)
+      let explored =
+        Obs.Metrics.value (Obs.Metrics.counter (Obs.Metrics.registry "dse") "points.explored")
+      in
+      Alcotest.(check (float 0.0)) "points.explored counter" (float_of_int r.Dse.explored) explored)
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "clock monotonic" `Quick test_clock_monotonic;
+      Alcotest.test_case "span nesting" `Quick test_span_nesting;
+      Alcotest.test_case "span closes on exception" `Quick test_span_exception;
+      Alcotest.test_case "disabled spans are transparent" `Quick test_span_disabled_is_transparent;
+      Alcotest.test_case "span merge across pool domains" `Quick test_span_parpool;
+      Alcotest.test_case "counter aggregation across domains" `Quick test_counter_across_domains;
+      Alcotest.test_case "metric types and get-or-create" `Quick test_metrics_types;
+      Alcotest.test_case "metrics JSONL export" `Quick test_metrics_jsonl;
+      Alcotest.test_case "chrome trace well-formed" `Quick test_chrome_trace_json;
+      Alcotest.test_case "json roundtrip and errors" `Quick test_json_roundtrip;
+      Alcotest.test_case "op stats collect and diff" `Quick test_op_stats;
+      Alcotest.test_case "instrumentation hook ordering" `Quick test_instrumentation_ordering;
+      Alcotest.test_case "pass spans with IR deltas" `Quick test_pass_spans;
+      Alcotest.test_case "pass timing report aggregation" `Quick test_pp_timings_aggregation;
+      Alcotest.test_case "traced DSE runs" `Quick test_traced_dse;
+      Alcotest.test_case "traced DSE records evaluate spans" `Quick test_traced_dse_events;
+    ] )
