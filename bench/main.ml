@@ -325,15 +325,24 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
       (fun p -> (p.Dse.point, p.Dse.estimate.Estimator.latency, Dse.area_of p.Dse.estimate))
       r.Dse.pareto
   in
+  let cores = Domain.recommended_domain_count () in
   let r1, t1 = arm ~jobs:1 () in
-  let rn, tn = arm ~jobs () in
+  (* On a single-core host the "parallel" arm is the sequential engine plus
+     domain overhead: its speedup is meaningless noise (<1x), so skip it and
+     mark the record instead of publishing a misleading slowdown. *)
+  let parallel_skipped = (if jobs = 0 then cores else jobs) <= 1 in
+  let rn, tn = if parallel_skipped then (r1, t1) else arm ~jobs () in
   let jobs_eff = rn.Dse.stats.Dse.jobs in
   let frontier_match = frontier_sig r1 = frontier_sig rn && r1.Dse.explored = rn.Dse.explored in
   let pps r t = float_of_int r.Dse.explored /. Float.max 1e-9 t in
   Fmt.pr "sequential: %d points in %5.2fs (%.1f points/s)@." r1.Dse.explored t1 (pps r1 t1);
-  Fmt.pr "parallel  : %d points in %5.2fs (%.1f points/s, %d workers)@." rn.Dse.explored
-    tn (pps rn tn) jobs_eff;
-  Fmt.pr "speedup   : %.2fx   frontier match: %b@." (t1 /. Float.max 1e-9 tn) frontier_match;
+  if parallel_skipped then
+    Fmt.pr "parallel  : skipped (single core available — speedup would only measure domain overhead)@."
+  else begin
+    Fmt.pr "parallel  : %d points in %5.2fs (%.1f points/s, %d workers)@." rn.Dse.explored
+      tn (pps rn tn) jobs_eff;
+    Fmt.pr "speedup   : %.2fx   frontier match: %b@." (t1 /. Float.max 1e-9 tn) frontier_match
+  end;
   Fmt.pr "pre-cache : %d hits / %d misses; eval cache: %d hits / %d misses (%.0f%% hit rate)@."
     rn.Dse.stats.Dse.pre_hits rn.Dse.stats.Dse.pre_misses rn.Dse.stats.Dse.cache_hits
     rn.Dse.stats.Dse.cache_misses
@@ -374,6 +383,7 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
   "cores": %d,
   "sequential": { "jobs": 1, "wall_s": %.3f, "points": %d, "points_per_sec": %.2f },
   "parallel": { "jobs": %d, "wall_s": %.3f, "points": %d, "points_per_sec": %.2f },
+  "parallel_skipped": %b,
   "speedup": %.3f,
   "frontier_match": %b,
   "cache": { "pre_hits": %d, "pre_misses": %d, "eval_hits": %d, "eval_misses": %d,
@@ -392,10 +402,9 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
 }
 |}
     (Models.Polybench.name kernel)
-    size samples iterations
-    (Domain.recommended_domain_count ())
-    t1 r1.Dse.explored (pps r1 t1) jobs_eff tn rn.Dse.explored (pps rn tn)
-    (t1 /. Float.max 1e-9 tn)
+    size samples iterations cores t1 r1.Dse.explored (pps r1 t1) jobs_eff tn
+    rn.Dse.explored (pps rn tn) parallel_skipped
+    (if parallel_skipped then 1.0 else t1 /. Float.max 1e-9 tn)
     frontier_match rn.Dse.stats.Dse.pre_hits rn.Dse.stats.Dse.pre_misses
     rn.Dse.stats.Dse.cache_hits rn.Dse.stats.Dse.cache_misses
     (Dse.hit_rate rn.Dse.stats.Dse.cache_hits rn.Dse.stats.Dse.cache_misses)

@@ -60,13 +60,24 @@ let run input kernel size top platform samples iterations seed jobs symbolic
     List.iter
       (fun (reason, n) -> Fmt.pr "  fallback because %s: %d@." reason n)
       s.Dse.fallback_reasons;
-    Fmt.pr "caches     : eval %d/%d hits (%.0f%%), pre %d/%d, est-memo %.0f%%@."
+    Fmt.pr "caches     : eval %d/%d hits (%.0f%%), pre %d/%d@."
       s.Dse.cache_hits
       (s.Dse.cache_hits + s.Dse.cache_misses)
       (100. *. Dse.hit_rate s.Dse.cache_hits s.Dse.cache_misses)
       s.Dse.pre_hits
-      (s.Dse.pre_hits + s.Dse.pre_misses)
-      (100. *. Dse.hit_rate s.Dse.est_memo_hits s.Dse.est_memo_misses);
+      (s.Dse.pre_hits + s.Dse.pre_misses);
+    (* Memo granularity: the transform memo works per (perm, tiles) module
+       (target-II ladder siblings share one), the estimator memo per
+       pipelined band. *)
+    Fmt.pr "transforms : %d shared / %d built (%.0f%% of points reused a sibling's module)@."
+      s.Dse.tf_hits s.Dse.tf_misses
+      (100. *. Dse.hit_rate s.Dse.tf_hits s.Dse.tf_misses);
+    let evaluated = max 1 (s.Dse.cache_misses) in
+    Fmt.pr
+      "bands      : %d reused / %d re-scheduled (%.0f%% band hit rate, %.1f bands re-scheduled per point)@."
+      s.Dse.est_memo_hits s.Dse.est_memo_misses
+      (100. *. Dse.hit_rate s.Dse.est_memo_hits s.Dse.est_memo_misses)
+      (float_of_int s.Dse.est_memo_misses /. float_of_int evaluated);
     Fmt.pr "workers    : %a@."
       Fmt.(
         list ~sep:comma (fun fmt (i, f) -> pf fmt "#%d %.0f%% busy" i (100. *. f)))

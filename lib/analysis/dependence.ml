@@ -265,22 +265,156 @@ let refine_star_dep ~num_dims ~ranges (dep : dep) =
     [num_dims] band dims. [ranges] (inclusive iteration-space bounds per
     dim) enables the guard-aware Fourier-Motzkin refinement of non-uniform
     dependences. *)
+(* Residue signature of a linear form within a coefficient class: one entry
+   per access-map row — the full constant for all-zero rows (the uniform
+   solve requires equal constants there), the constant modulo the stride for
+   rows with exactly one nonzero coefficient (the solve requires the
+   constant difference divisible by it), and a don't-care marker for
+   multi-coefficient rows (the solve derives no divisibility from them).
+   Two same-class accesses with different signatures provably have no
+   dependence: [dependence_forms] would raise [Independent] on the
+   divisibility check or fail the constant-row check. *)
+let residue_sig rows =
+  List.map
+    (fun ((cs : int array), k) ->
+      let nz = ref 0 and last = ref 0 in
+      Array.iter
+        (fun c ->
+          if c <> 0 then begin
+            incr nz;
+            last := c
+          end)
+        cs;
+      match !nz with
+      | 0 -> k
+      | 1 ->
+          let m = abs !last in
+          ((k mod m) + m) mod m
+      | _ -> min_int)
+    rows
+
 let all_deps ?ranges ~num_dims accs =
   (* Linear forms are a pure function of the access: compute each once
      instead of once per ordered pair (the dominant cost on wide unrolled
      bodies with hundreds of accesses). *)
   let forms = List.map (fun a -> (a, linear_form ~num_dims a)) accs in
-  List.concat_map
-    (fun (src, fs) ->
-      List.filter_map
-        (fun (dst, fd) ->
-          if src == dst then None
-          else
-            match dependence_forms ~num_dims src fs dst fd with
-            | Some dirs -> Some { src; dst; dirs }
-            | None -> None)
-        forms)
-    forms
+  let dep_of ((src : Mem_access.t), fs) ((dst : Mem_access.t), fd) =
+    match dependence_forms ~num_dims src fs dst fd with
+    | Some dirs -> Some { src; dst; dirs }
+    | None -> None
+  in
+  (* Pair enumeration avoids the all-pairs scan, which was quadratic in the
+     access count and dominated estimation on wide unrolled bodies (a
+     symbolically expanded gemm band carries ~1000 accesses = ~10^6 ordered
+     pairs, nearly all provably independent). Accesses are grouped by
+     memref (cross-memref pairs can never depend), load-only groups are
+     skipped (a dependence needs a store), and same-coefficient-class
+     accesses are bucketed by residue signature so only pairs that survive
+     the uniform solve's divisibility sieve are enumerated. Cross-class and
+     non-linear pairs keep the exhaustive scan — they are rare, and their
+     non-uniform path is cheap. The dep *set* is unchanged; only its order
+     differs (consumers max-fold or treat it as a set). *)
+  let pair_deps =
+    let gorder = ref [] in
+    let groups : (int, (Mem_access.t * (int array * int) list option) list ref) Hashtbl.t
+        =
+      Hashtbl.create 8
+    in
+    List.iter
+      (fun (((a : Mem_access.t), _) as af) ->
+        let vid = a.Mem_access.memref.Ir.vid in
+        match Hashtbl.find_opt groups vid with
+        | Some r -> r := af :: !r
+        | None ->
+            gorder := vid :: !gorder;
+            Hashtbl.add groups vid (ref [ af ]))
+      forms;
+    let group_deps vid =
+      let members = List.rev !(Hashtbl.find groups vid) in
+      if
+        not
+          (List.exists
+             (fun ((a : Mem_access.t), _) -> a.Mem_access.is_store)
+             members)
+      then []
+      else begin
+        (* Split into same-coefficient classes (first-appearance order) with
+           residue buckets inside each, plus non-linear irregulars. *)
+        let class_tbl = Hashtbl.create 4 in
+        let corder = ref [] and irregular = ref [] in
+        List.iter
+          (fun ((_, fo) as m) ->
+            match fo with
+            | None -> irregular := m :: !irregular
+            | Some rows -> (
+                let ckey = List.map fst rows in
+                let skey = residue_sig rows in
+                let sorder, buckets =
+                  match Hashtbl.find_opt class_tbl ckey with
+                  | Some c -> c
+                  | None ->
+                      let c = (ref [], Hashtbl.create 8) in
+                      Hashtbl.add class_tbl ckey c;
+                      corder := ckey :: !corder;
+                      c
+                in
+                match Hashtbl.find_opt buckets skey with
+                | Some r -> r := m :: !r
+                | None ->
+                    sorder := skey :: !sorder;
+                    Hashtbl.add buckets skey (ref [ m ])))
+          members;
+        let classes =
+          List.rev_map
+            (fun ckey ->
+              let sorder, buckets = Hashtbl.find class_tbl ckey in
+              List.rev_map (fun skey -> List.rev !(Hashtbl.find buckets skey)) !sorder)
+            !corder
+        in
+        let irregular = List.rev !irregular in
+        let ordered_pairs ms =
+          List.concat_map
+            (fun ((s, _) as src) ->
+              List.filter_map
+                (fun ((d, _) as dst) -> if s == d then None else dep_of src dst)
+                ms)
+            ms
+        in
+        (* same class, same residue bucket: the only uniform pairs that can
+           depend *)
+        let flat = List.mapi (fun i c -> (i, List.concat c)) classes in
+        List.concat_map (List.concat_map ordered_pairs) classes
+        (* different classes: exhaustive ordered pairs (non-uniform path) *)
+        @ List.concat_map
+            (fun (i, ci) ->
+              List.concat_map
+                (fun (j, cj) ->
+                  if i = j then []
+                  else
+                    List.concat_map
+                      (fun src ->
+                        List.filter_map (fun dst -> dep_of src dst) cj)
+                      ci)
+                flat)
+            flat
+        (* non-linear accesses: against every regular member both ways, and
+           among themselves *)
+        @ (let regulars =
+             List.filter (fun (_, fo) -> Option.is_some fo) members
+           in
+           List.concat_map
+             (fun ir ->
+               List.concat_map
+                 (fun reg ->
+                   List.filter_map Fun.id [ dep_of ir reg; dep_of reg ir ])
+                 regulars)
+             irregular
+           @ ordered_pairs irregular)
+      end
+    in
+    List.concat_map group_deps (List.rev !gorder)
+  in
+  pair_deps
   @ List.filter_map
       (fun (a, fa) ->
         (* Self-dependence of a store with itself across iterations. *)

@@ -112,6 +112,32 @@ let range_of_value scope (v : Ir.value) =
           | _ -> None)
       | None -> None)
 
+(** Precomputed {!range_of_value} environment: one walk over [scope] builds a
+    table from value id to inclusive range, covering every [arith.constant]
+    result ([(c, c)]) and every affine induction variable with constant
+    bounds ([(lb, ub-1)]). [Hashtbl.find_opt (range_env scope) v.vid] agrees
+    with [range_of_value scope v]; the table form amortizes the per-query
+    scope walk on hot paths (the estimator's band-memo keys hash the ranges
+    of every free value of a band). *)
+let range_env scope =
+  let tbl : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  Walk.iter_op
+    (fun o ->
+      if Arith.is_constant o then (
+        match Arith.constant_int_value o with
+        | Some c ->
+            List.iter
+              (fun (r : Ir.value) -> Hashtbl.replace tbl r.Ir.vid (c, c))
+              o.Ir.results
+        | None -> ())
+      else if Affine_d.is_for o then
+        match Affine_d.const_bounds o with
+        | Some (lb, ub) when ub > lb ->
+            Hashtbl.replace tbl (Affine_d.induction_var o).Ir.vid (lb, ub - 1)
+        | _ -> ())
+    scope;
+  tbl
+
 (** Depth of nesting of affine loops containing each loop: association list
     from loop (physical identity) to depth, outermost = 0. *)
 let loop_depths f =

@@ -59,8 +59,14 @@ type stats = {
   fallback_reasons : (string * int) list;
       (** why the symbolic model bailed, per {!Unroll_model.Unsupported}
           reason, sorted by reason *)
-  est_memo_hits : int;  (** estimator memo hits (fingerprint-identical modules) *)
-  est_memo_misses : int;  (** ... and misses (estimator actually ran) *)
+  est_memo_hits : int;
+      (** band-granular estimator memo hits (fingerprint-identical pipelined
+          bands in hash-identical environments share one schedule) *)
+  est_memo_misses : int;  (** ... and misses (bands actually re-scheduled) *)
+  tf_hits : int;
+      (** transform-memo hits: points that reused the transformed module of a
+          sibling point differing only in target II *)
+  tf_misses : int;  (** ... and misses (transform pipeline actually ran) *)
   worker_busy : (int * float) list;
       (** per-worker busy fraction of the run ({!Parpool.busy_fractions}) *)
   stage_seconds : (string * float) list;
@@ -215,16 +221,30 @@ let preprocess ctx m ~lp ~rvb =
   in
   Pass.run_pipeline pre ctx m
 
-(* Passes replayed on the symbolically-expanded module: the full
-   [cleanup_passes] pipeline, re-run over the expanded clones. The rolled
-   module already went through it, so the per-template rewrites are baked in
-   and the leading canonicalize converges immediately; the replay performs
-   exactly the cross-iteration work the materialized path does on its
-   unrolled body — resolving per-clone guards (each clone's if-set now has
-   the point constants folded in), store forwarding along the
-   point-iteration chain, memref simplification, CSE across clones, and the
-   final canonicalize. *)
-let expand_cleanup_passes = cleanup_passes
+(* Passes replayed on the symbolically-expanded module. The rolled module
+   already went through the full [cleanup_passes] pipeline, so the
+   per-template rewrites are baked into every instance, and
+   [Unroll_model.expand] now emits already-canonical instances — access maps
+   folded and pruned exactly as canonicalization would, and per-clone guards
+   resolved at instantiation with [Simplify_affine_if]'s own decision
+   procedure. That leaves only the cross-iteration work the materialized
+   path performs on its unrolled body: a canonicalize (dead-code from
+   resolved guards, constant folds exposed by splicing), store forwarding
+   along the point-iteration chain, memref simplification, CSE across
+   clones, and the final canonicalize. The replayed [Simplify_affine_if] was
+   measured rewrite-free post-fusion (zero IR delta across every replay on
+   the bench kernels and the fuzz corpus) and is dropped; with nothing left
+   between them, the two leading canonicalizes merge into one. The
+   differential oracle asserts the trimmed replay still matches the
+   materialized path op-for-op. *)
+let expand_cleanup_passes =
+  [
+    Canonicalize.pass;
+    Store_forward.pass;
+    Simplify_memref.pass;
+    Cse.pass;
+    Canonicalize.pass;
+  ]
 
 (** Stage 1 of point application, shared by both evaluation modes: permute
     and tile the main band. Raises [Inapplicable] when e.g. the permutation
@@ -493,17 +513,48 @@ let cache_key ?pre_fp pre ~top (pt : point) :
 
 let area_of (e : Estimator.estimate) = e.Estimator.usage.Platform.u_dsp
 
+(** Rewrite every pipelined loop directive to [target_ii]. No transform or
+    cleanup pass reads the target II — it only feeds the estimator and
+    emission — so the transformed module of a design point is, up to this
+    attribute, a function of (preprocessed module, perm, tiles) alone. The
+    engine exploits that: one transform run is shared by the whole II ladder
+    of sibling points, patched per point by this rewrite. *)
+let retarget_ii ~target_ii m =
+  let needs_patch o =
+    match Hlscpp.get_loop_directive o with
+    | Some d -> d.Hlscpp.loop_pipeline && d.Hlscpp.loop_target_ii <> target_ii
+    | None -> false
+  in
+  if not (Walk.exists needs_patch m) then m
+  else
+    Walk.map_op
+      (fun o ->
+        if needs_patch o then
+          let d = Option.get (Hlscpp.get_loop_directive o) in
+          Hlscpp.set_loop_directive o { d with Hlscpp.loop_target_ii = target_ii }
+        else o)
+      m
+
+type tf_memo = (int64 * int list * int list, Ir.op option) Eval_cache.t
+(** Transform memo: (preprocessed-module fingerprint, canonical perm,
+    canonical tiles) -> fully transformed module (directives, cleanup and
+    partitioning applied), or [None] when that combination is
+    {!Inapplicable}. Entries are target-II-agnostic; consumers patch the
+    directive with {!retarget_ii}. *)
+
 (** Evaluate one design point. [?pre] supplies the (lp, rvb)-preprocessed
     module (the engine memoizes it; without it the preprocessing is run here).
     [?symbolic] selects the evaluation path (default symbolic, see
-    {!apply_preprocessed}); [?est_memo] memoizes estimates by the transformed
-    module's structural fingerprint (fingerprint-identical modules share one
-    estimator run); [?tally] collects per-stage wall time. Only
+    {!apply_preprocessed}); [?tf_memo]/[?tf_key] memoize the transformed
+    module across the II ladder (the key must be the canonical
+    (pre-fingerprint, perm, tiles) of this point); [?memos] carries the
+    band-granular estimator memo ({!Estimator.create_memos});
+    [?tally] collects per-stage wall time. Only
     [Inapplicable] means "not a design": any other exception is a transform
     bug — it is logged with the offending point and re-raised rather than
     silently swallowed. *)
-let evaluate ?(max_unroll = 256) ?symbolic ?tally ?est_memo ?pre ctx m ~top
-    ~platform (pt : point) : (evaluated * Ir.op) option =
+let evaluate ?(max_unroll = 256) ?symbolic ?tally ?memos ?tf_memo ?tf_key ?pre
+    ctx m ~top ~platform (pt : point) : (evaluated * Ir.op) option =
   let unroll_product = List.fold_left ( * ) 1 pt.tiles in
   if unroll_product > max_unroll then None
   else
@@ -511,7 +562,27 @@ let evaluate ?(max_unroll = 256) ?symbolic ?tally ?est_memo ?pre ctx m ~top
       match pre with Some p -> p | None -> preprocess ctx m ~lp:pt.lp ~rvb:pt.rvb
     in
     match
-      let m' = apply_preprocessed ?symbolic ?tally ctx pre_m ~top pt in
+      let transform () = apply_preprocessed ?symbolic ?tally ctx pre_m ~top pt in
+      (* [tm] is the shared target-II-agnostic module the estimator runs on
+         (with the point's II applied at read time, so II-ladder siblings
+         reuse its per-module analyses by physical identity); [m'] is the
+         point's own module with the directive actually patched in. *)
+      let tm, m' =
+        match (tf_memo, tf_key) with
+        | Some (memo : tf_memo), Some key -> (
+            let r =
+              Eval_cache.find_or_add memo key (fun () ->
+                  match transform () with
+                  | m -> Some m
+                  | exception Inapplicable -> None)
+            in
+            match r with
+            | None -> raise Inapplicable
+            | Some tm -> (tm, retarget_ii ~target_ii:pt.target_ii tm))
+        | _ ->
+            let m' = transform () in
+            (m', m')
+      in
       let time_estimate f =
         match tally with
         | None -> f ()
@@ -523,11 +594,7 @@ let evaluate ?(max_unroll = 256) ?symbolic ?tally ?est_memo ?pre ctx m ~top
       in
       let e =
         time_estimate (fun () ->
-            match est_memo with
-            | None -> Estimator.estimate m' ~top
-            | Some memo ->
-                Eval_cache.find_or_add memo (Fingerprint.op m') (fun () ->
-                    Estimator.estimate m' ~top))
+            Estimator.estimate ?memos ~loop_ii:pt.target_ii tm ~top)
       in
       let feasible = Platform.fits platform e.Estimator.usage in
       ({ point = pt; estimate = e; feasible }, m')
@@ -665,6 +732,8 @@ let record_metrics (s : stats) explored =
   bump "pre_cache.misses" s.pre_misses;
   bump "est_memo.hits" s.est_memo_hits;
   bump "est_memo.misses" s.est_memo_misses;
+  bump "tf_memo.hits" s.tf_hits;
+  bump "tf_memo.misses" s.tf_misses;
   bump "points.symbolic" s.symbolic_points;
   bump "points.fallback" s.fallback_points;
   List.iter
@@ -672,6 +741,7 @@ let record_metrics (s : stats) explored =
     s.fallback_reasons;
   set (gauge reg "eval_cache.hit_rate") (hit_rate s.cache_hits s.cache_misses);
   set (gauge reg "est_memo.hit_rate") (hit_rate s.est_memo_hits s.est_memo_misses);
+  set (gauge reg "tf_memo.hit_rate") (hit_rate s.tf_hits s.tf_misses);
   set (gauge reg "points_per_sec")
     (float_of_int explored /. Float.max 1e-9 s.wall_seconds);
   set (gauge reg "jobs") (float_of_int s.jobs);
@@ -713,14 +783,16 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
      transformed module evaluate once. It deliberately does NOT retain
      transformed modules — those are kept separately and only for
      current-frontier points, so memory stays bounded by the frontier, not
-     the explored count. The estimator memo additionally collapses
-     fingerprint-identical *transformed* modules reached from different
-     points. *)
+     the explored count. The transform memo shares one transform run across
+     the II ladder of sibling points (the target II is patched onto the
+     cached module), and the estimator's band memo shares schedules between
+     structurally identical pipelined bands across points. *)
   let pre_cache : (bool * bool, Ir.op) Eval_cache.t = Eval_cache.create ~size:4 () in
   let cache : (int64 * int list * int list * int, evaluated option) Eval_cache.t =
     Eval_cache.create ()
   in
-  let est_memo : (int64, Estimator.estimate) Eval_cache.t = Eval_cache.create () in
+  let memos = Estimator.create_memos () in
+  let tf_memo : tf_memo = Eval_cache.create () in
   let preprocessed lp rvb =
     Eval_cache.find_or_add pre_cache (lp, rvb) (fun () ->
         preprocess (Ir.Ctx.of_op m) m ~lp ~rvb)
@@ -749,11 +821,22 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
       ~args:[ ("point", Obs.Json.String (Fmt.str "%a" pp_point pt)) ]
       (fun () ->
         let pre = preprocessed pt.lp pt.rvb in
+        (* [pt] is canonical and [pre_fps] was populated by [key_of] during
+           batch construction (strictly before workers run), so this read
+           never races a write. *)
+        let tf_key =
+          let pre_fp =
+            match Hashtbl.find_opt pre_fps (pt.lp, pt.rvb) with
+            | Some f -> f
+            | None -> Fingerprint.op pre
+          in
+          (pre_fp, pt.perm, pt.tiles)
+        in
         let t = tally_zero () in
         let r, secs =
           Obs.Clock.time_s (fun () ->
-              evaluate ~max_unroll ~symbolic ~tally:t ~est_memo ~pre
-                (Ir.Ctx.of_op pre) m ~top ~platform pt)
+              evaluate ~max_unroll ~symbolic ~tally:t ~memos ~tf_memo ~tf_key
+                ~pre (Ir.Ctx.of_op pre) m ~top ~platform pt)
         in
         instr_merge instr t;
         Obs.Metrics.observe eval_seconds secs;
@@ -979,8 +1062,10 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
       symbolic_points = instr.n_symbolic;
       fallback_points = instr.n_fallback;
       fallback_reasons = instr_reasons instr;
-      est_memo_hits = Eval_cache.hits est_memo;
-      est_memo_misses = Eval_cache.misses est_memo;
+      est_memo_hits = Estimator.memo_hits memos;
+      est_memo_misses = Estimator.memo_misses memos;
+      tf_hits = Eval_cache.hits tf_memo;
+      tf_misses = Eval_cache.misses tf_memo;
       worker_busy = Parpool.busy_fractions pool;
       stage_seconds = instr_stages instr;
     }

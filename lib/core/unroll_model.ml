@@ -26,6 +26,7 @@
 
 open Mir
 open Dialects
+open Analysis
 
 module A = Affine
 
@@ -163,8 +164,12 @@ let fold_access plan ~vals ~sub =
   Canonicalize.prune_unused_dims map idxs
 
 (* Fold one point assignment into an if's integer set, the same way but over
-   the packed constraint-expression map (mirroring fold_set_operands_fix). *)
-let fold_set plan ~vals ~sub =
+   the packed constraint-expression map (mirroring fold_set_operands_fix).
+   Returns the *pre-substitution* kept operands so the caller can look their
+   ranges up in the rolled module's range environment before substituting
+   (pruning decisions are position-based, so they are substitution-
+   independent). *)
+let fold_set plan ~vals =
   let reps =
     Array.to_list
       (Array.map
@@ -178,9 +183,7 @@ let fold_set plan ~vals ~sub =
   in
   let map = A.Map.make ~num_dims:(A.Set_.num_dims plan.i_set) ~num_syms:0 exprs in
   let map = A.Map.replace_dims ~num_dims:plan.i_num_kept reps map in
-  let map, operands =
-    Canonicalize.prune_unused_dims map (List.map sub plan.i_kept)
-  in
+  let map, operands = Canonicalize.prune_unused_dims map plan.i_kept in
   let constraints =
     List.map2
       (fun c e -> { c with A.Set_.expr = e })
@@ -188,14 +191,27 @@ let fold_set plan ~vals ~sub =
   in
   (A.Set_.make ~num_dims:(A.Map.num_dims map) ~num_syms:0 constraints, operands)
 
-(* One template instance at the point assignment [vals]. *)
-let instantiate ctx (template : (Ir.op * op_plan) list) ~vals : Ir.op list =
+(* One template instance at the point assignment [vals]. Guards are resolved
+   here, fused into instantiation: once the point constants are folded into
+   an [affine.if]'s set, most guards (perfectization's first-iteration
+   stores, domain guards) become decidable, and the surviving branch is
+   spliced directly instead of materializing the dead one and replaying
+   [Simplify_affine_if] over the expanded module. The decision procedure is
+   exactly {!Simplify_affine_if.simplify_if}'s, with operand ranges served
+   from [ranges] (the rolled function's {!Loop_utils.range_env}, queried on
+   pre-substitution operands — the rolled module is canonicalized, so kept
+   operands are never constants and the environment of an instance operand
+   is that of its template original). Resolution is post-order (branch
+   bodies instantiate before the enclosing guard is decided), matching the
+   pass's {!Walk.expand_in_op} replay order. *)
+let instantiate ctx ~ranges (template : (Ir.op * op_plan) list) ~vals :
+    Ir.op list =
   let subst = ref Ir.Value_map.empty in
   let sub (v : Ir.value) =
     match Ir.Value_map.find_opt v.Ir.vid !subst with Some v' -> v' | None -> v
   in
   let rec inst_ops plans =
-    List.map
+    List.concat_map
       (fun ((o : Ir.op), plan) ->
         match plan with
         | Load p ->
@@ -203,16 +219,20 @@ let instantiate ctx (template : (Ir.op * op_plan) list) ~vals : Ir.op list =
             let mem = sub (Memref.accessed_memref o) in
             let r = Ir.Ctx.fresh ctx (Ir.result o).Ir.vty in
             subst := Ir.Value_map.add (Ir.result o).Ir.vid r !subst;
-            Ir.mk "affine.load"
-              ~attrs:[ ("map", Attr.Map map) ]
-              ~operands:(mem :: idxs) ~results:[ r ]
+            [
+              Ir.mk "affine.load"
+                ~attrs:[ ("map", Attr.Map map) ]
+                ~operands:(mem :: idxs) ~results:[ r ];
+            ]
         | Store p ->
             let map, idxs = fold_access p ~vals ~sub in
             let v = sub (Memref.stored_value o) in
             let mem = sub (Memref.accessed_memref o) in
-            Ir.mk "affine.store"
-              ~attrs:[ ("map", Attr.Map map) ]
-              ~operands:(v :: mem :: idxs) ~results:[]
+            [
+              Ir.mk "affine.store"
+                ~attrs:[ ("map", Attr.Map map) ]
+                ~operands:(v :: mem :: idxs) ~results:[];
+            ]
         | Pure ->
             let operands = List.map sub o.Ir.operands in
             let results =
@@ -223,22 +243,44 @@ let instantiate ctx (template : (Ir.op * op_plan) list) ~vals : Ir.op list =
                   r')
                 o.Ir.results
             in
-            { o with Ir.operands; Ir.results = results }
-        | If p ->
-            let set, operands = fold_set p ~vals ~sub in
-            let then_ops = inst_ops p.i_then @ [ Affine_d.yield ] in
-            let else_ops = inst_ops p.i_else @ [ Affine_d.yield ] in
-            Ir.set_attr
-              {
-                o with
-                Ir.operands;
-                Ir.regions =
-                  [
-                    [ { Ir.bargs = []; Ir.bops = then_ops } ];
-                    [ { Ir.bargs = []; Ir.bops = else_ops } ];
-                  ];
-              }
-              "set" (Attr.Set set))
+            [ { o with Ir.operands; Ir.results = results } ]
+        | If p -> (
+            let set, pre_kept = fold_set p ~vals in
+            let keep set' =
+              let then_ops = inst_ops p.i_then @ [ Affine_d.yield ] in
+              let else_ops = inst_ops p.i_else @ [ Affine_d.yield ] in
+              [
+                Ir.set_attr
+                  {
+                    o with
+                    Ir.operands = List.map sub pre_kept;
+                    Ir.regions =
+                      [
+                        [ { Ir.bargs = []; Ir.bops = then_ops } ];
+                        [ { Ir.bargs = []; Ir.bops = else_ops } ];
+                      ];
+                  }
+                  "set" (Attr.Set set');
+              ]
+            in
+            match A.Set_.trivial (A.Set_.simplify set) with
+            | Some true -> inst_ops p.i_then
+            | Some false -> inst_ops p.i_else
+            | None ->
+                let rngs =
+                  List.map
+                    (fun (v : Ir.value) -> Hashtbl.find_opt ranges v.Ir.vid)
+                    pre_kept
+                in
+                if List.for_all Option.is_some rngs then
+                  match
+                    A.Set_.simplify_with_ranges set
+                      ~ranges:(Array.of_list (List.map Option.get rngs))
+                  with
+                  | None -> inst_ops p.i_else
+                  | Some s when A.Set_.constraints s = [] -> inst_ops p.i_then
+                  | Some s -> keep s
+                else keep set))
       plans
   in
   inst_ops template
@@ -246,8 +288,10 @@ let instantiate ctx (template : (Ir.op * op_plan) list) ~vals : Ir.op list =
 (* ---- Target expansion ----------------------------------------------------- *)
 
 (* Expand the point loops inside one pipelined target. Returns [None] when
-   there is nothing to expand (no loop anywhere inside the target). *)
-let expand_target ctx (target : Ir.op) : Ir.op option =
+   there is nothing to expand (no loop anywhere inside the target). [ranges]
+   is the enclosing function's rolled-module range environment, used to
+   resolve instance guards. *)
+let expand_target ctx ~ranges (target : Ir.op) : Ir.op option =
   let point_loops, template = peel_point_nest (Ir.body_ops target) in
   if point_loops = [] then begin
     (* No point nest — but a loop hiding under a region op (e.g. an
@@ -291,7 +335,7 @@ let expand_target ctx (target : Ir.op) : Ir.op option =
         for i = 0 to n - 1 do
           vals.(i) <- lbs.(i) + (ks.(i) * steps.(i))
         done;
-        chunks := instantiate ctx plans ~vals :: !chunks;
+        chunks := instantiate ctx ~ranges plans ~vals :: !chunks;
         let rec inc i =
           if i < 0 then continue_ := false
           else begin
@@ -318,16 +362,39 @@ let expand_target ctx (target : Ir.op) : Ir.op option =
     falls outside the supported shape. *)
 let expand ctx (m : Ir.op) : Ir.op * bool =
   let expanded = ref false in
+  let is_target o = Affine_d.is_for o && Hlscpp.is_pipelined o in
+  let expand_in_func f =
+    if not (Walk.exists is_target f) then f
+    else
+      (* Guard resolution keys off the rolled function's range environment
+         (outer induction variables and constants keep their identities
+         across expansion, and point ivs are folded away before lookup). *)
+      let ranges = Loop_utils.range_env f in
+      Walk.map_op
+        (fun o ->
+          if is_target o then
+            match expand_target ctx ~ranges o with
+            | Some o' ->
+                expanded := true;
+                o'
+            | None -> o
+          else o)
+        f
+  in
   let m' =
-    Walk.map_op
-      (fun o ->
-        if Affine_d.is_for o && Hlscpp.is_pipelined o then
-          match expand_target ctx o with
-          | Some o' ->
-              expanded := true;
-              o'
-          | None -> o
-        else o)
-      m
+    {
+      m with
+      Ir.regions =
+        List.map
+          (List.map (fun (b : Ir.block) ->
+               {
+                 b with
+                 Ir.bops =
+                   List.map
+                     (fun o -> if Func.is_func o then expand_in_func o else o)
+                     b.Ir.bops;
+               }))
+          m.Ir.regions;
+    }
   in
   ((if !expanded then m' else m), !expanded)

@@ -24,12 +24,12 @@ let default_func_directive = { dataflow = false; pipeline = false; target_ii = 1
 let func_directive_attr (d : func_directive) =
   Attr.Dict
     [
-      ("dataflow", Attr.Bool d.dataflow);
-      ("pipeline", Attr.Bool d.pipeline);
-      ("targetII", Attr.Int d.target_ii);
+      ("dataflow", Attr.bool_ d.dataflow);
+      ("pipeline", Attr.bool_ d.pipeline);
+      ("targetII", Attr.int_ d.target_ii);
     ]
 
-let func_directive_key = "hlscpp.func_directive"
+let func_directive_key = Attr.Key.func_directive
 
 let get_func_directive o =
   match attr o func_directive_key with
@@ -59,13 +59,13 @@ let default_loop_directive =
 let loop_directive_attr (d : loop_directive) =
   Attr.Dict
     [
-      ("dataflow", Attr.Bool d.loop_dataflow);
-      ("pipeline", Attr.Bool d.loop_pipeline);
-      ("targetII", Attr.Int d.loop_target_ii);
-      ("flatten", Attr.Bool d.flatten);
+      ("dataflow", Attr.bool_ d.loop_dataflow);
+      ("pipeline", Attr.bool_ d.loop_pipeline);
+      ("targetII", Attr.int_ d.loop_target_ii);
+      ("flatten", Attr.bool_ d.flatten);
     ]
 
-let loop_directive_key = "hlscpp.loop_directive"
+let loop_directive_key = Attr.Key.loop_directive
 
 let get_loop_directive o =
   match attr o loop_directive_key with

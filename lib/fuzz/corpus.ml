@@ -23,6 +23,7 @@ type oracle_kind =
   | Qor_estimator  (** estimator vs virtual-synth agreement *)
   | Dse_jobs  (** -j N vs -j 1 determinism *)
   | Dse_symbolic  (** symbolic vs materialized point evaluation *)
+  | Dse_incremental  (** warm band-delta estimates vs cold full re-estimation *)
 
 let oracle_kind_to_string = function
   | Interp_diff -> "interp-diff"
@@ -30,6 +31,7 @@ let oracle_kind_to_string = function
   | Qor_estimator -> "qor-estimator"
   | Dse_jobs -> "dse-jobs"
   | Dse_symbolic -> "dse-symbolic"
+  | Dse_incremental -> "dse-incremental"
 
 let oracle_kind_of_string = function
   | "interp-diff" -> Some Interp_diff
@@ -37,6 +39,7 @@ let oracle_kind_of_string = function
   | "qor-estimator" -> Some Qor_estimator
   | "dse-jobs" -> Some Dse_jobs
   | "dse-symbolic" -> Some Dse_symbolic
+  | "dse-incremental" -> Some Dse_incremental
   | _ -> None
 
 type entry = {
@@ -125,3 +128,4 @@ let replay (e : entry) : Oracle.failure list =
   | Qor_estimator -> Oracle.qor_estimator_agrees m ~top
   | Dse_jobs -> Oracle.dse_jobs_deterministic ~seed:e.seed m ~top
   | Dse_symbolic -> Oracle.dse_symbolic_equiv ~seed:e.seed m ~top
+  | Dse_incremental -> Oracle.dse_incremental ~seed:e.seed m ~top

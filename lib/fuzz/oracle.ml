@@ -218,6 +218,61 @@ let dse_symbolic_equiv ?(points = 6) ~seed m ~top : failure list =
     List.rev !fails
   with e -> [ fail "dse-symbolic" "crash: %s" (Printexc.to_string e) ]
 
+(** The incremental band-delta estimator must be invisible: estimating a
+    transformed module against a warm cross-point memo
+    ({!Estimator.create_memos}) must equal the cold full re-estimation of
+    the same module, and estimating a target-II *sibling* through the
+    read-time [loop_ii] override on the shared module (what the engine does
+    on a transform-memo hit) must equal cold estimation of the sibling's own
+    fully re-transformed module. The cold reference applies
+    {!Dse.retarget_ii} first so both sides use the engine's
+    uniform-override II semantics. *)
+let dse_incremental ?(points = 4) ~seed m ~top : failure list =
+  try
+    let ctx = Ir.Ctx.of_op m in
+    let space = Dse.build_space ctx m ~top in
+    let rng = Random.State.make [| seed |] in
+    let memos = Estimator.create_memos () in
+    let cold ~target_ii m' =
+      Estimator.estimate (Dse.retarget_ii ~target_ii m') ~top
+    in
+    let fails = ref [] in
+    for _ = 1 to points do
+      let pt = Dse.random_point rng space in
+      match Dse.apply_point ctx m ~top pt with
+      | exception Dse.Inapplicable -> ()
+      | m' ->
+          let ii = pt.Dse.target_ii in
+          let c = cold ~target_ii:ii m' in
+          let w = Estimator.estimate ~memos ~loop_ii:ii m' ~top in
+          if c <> w then
+            fails :=
+              fail "dse-incremental" "warm/cold divergence at %a: %a vs %a"
+                Dse.pp_point pt Estimator.pp_estimate w Estimator.pp_estimate c
+              :: !fails;
+          (* Target-II sibling: shared module + override vs full re-apply. *)
+          let sii = ii + 1 in
+          let spt = { pt with Dse.target_ii = sii } in
+          (match Dse.apply_point ctx m ~top spt with
+          | exception Dse.Inapplicable ->
+              fails :=
+                fail "dse-incremental" "sibling applicability divergence at %a"
+                  Dse.pp_point spt
+                :: !fails
+          | ms ->
+              let sc = cold ~target_ii:sii ms in
+              let sw = Estimator.estimate ~memos ~loop_ii:sii m' ~top in
+              if sc <> sw then
+                fails :=
+                  fail "dse-incremental"
+                    "sibling divergence at %a: shared-module %a vs re-applied %a"
+                    Dse.pp_point spt Estimator.pp_estimate sw
+                    Estimator.pp_estimate sc
+                  :: !fails)
+    done;
+    List.rev !fails
+  with e -> [ fail "dse-incremental" "crash: %s" (Printexc.to_string e) ]
+
 (** A parallel DSE run must be bit-identical to the sequential one: same
     explored count, same best point, same Pareto frontier. *)
 let dse_jobs_deterministic ?(samples = 4) ?(iterations = 6) ~seed m ~top : failure list =

@@ -71,8 +71,23 @@ let block ?(args = []) ops = { bargs = args; bops = ops }
 
 (* ---- Attribute access --------------------------------------------------- *)
 
-let attr o key = List.assoc_opt key o.attrs
-let has_attr o key = List.mem_assoc key o.attrs
+(* First-order scan with a physical-equality fast path: attribute keys are
+   interned ({!Attr.Key}), so the common case resolves without byte-wise
+   string comparison — this lookup runs once per op per directive-aware
+   walk on the DSE hot path. *)
+let attr o key =
+  let rec find = function
+    | [] -> None
+    | (k, v) :: rest -> if k == key || String.equal k key then Some v else find rest
+  in
+  find o.attrs
+
+let has_attr o key =
+  let rec find = function
+    | [] -> false
+    | (k, _) :: rest -> k == key || String.equal k key || find rest
+  in
+  find o.attrs
 
 let attr_exn o key =
   match attr o key with

@@ -1,17 +1,53 @@
 (** Generic IR traversals: iteration, folding, and post/pre-order rewriting
-    over the operation tree. *)
+    over the operation tree.
+
+    The iteration core is written as first-order mutual recursion (no
+    intermediate closures or partial applications): these walkers run on the
+    DSE hot path — the estimator, the fingerprinter, and the cleanup passes
+    traverse every transformed module several times per design point — and
+    the closure-per-region variant showed up in allocation profiles. *)
 
 open Ir
 
 (** Pre-order iteration over an op and everything nested in it. *)
 let rec iter_op f (o : op) =
   f o;
-  List.iter (List.iter (fun b -> List.iter (iter_op f) b.bops)) o.regions
+  iter_regions f o.regions
 
-let fold_ops f acc o =
-  let acc = ref acc in
-  iter_op (fun o -> acc := f !acc o) o;
-  !acc
+and iter_regions f = function
+  | [] -> ()
+  | r :: rest ->
+      iter_blocks f r;
+      iter_regions f rest
+
+and iter_blocks f = function
+  | [] -> ()
+  | (b : block) :: rest ->
+      iter_seq f b.bops;
+      iter_blocks f rest
+
+and iter_seq f = function
+  | [] -> ()
+  | o :: rest ->
+      iter_op f o;
+      iter_seq f rest
+
+(** Pre-order fold over an op and everything nested in it. *)
+let rec fold_ops f acc (o : op) =
+  let acc = f acc o in
+  fold_regions f acc o.regions
+
+and fold_regions f acc = function
+  | [] -> acc
+  | r :: rest -> fold_regions f (fold_blocks f acc r) rest
+
+and fold_blocks f acc = function
+  | [] -> acc
+  | (b : block) :: rest -> fold_blocks f (fold_seq f acc b.bops) rest
+
+and fold_seq f acc = function
+  | [] -> acc
+  | o :: rest -> fold_seq f (fold_ops f acc o) rest
 
 (** Collect all ops satisfying [p], pre-order. *)
 let collect p o = List.rev (fold_ops (fun acc o -> if p o then o :: acc else acc) [] o)
@@ -80,9 +116,56 @@ let defined_values o =
         acc o.regions)
     Value_set.empty o
 
+(** Visit each free value of [o] exactly once, in first-use (pre-order)
+    order: values used inside [o] but not defined inside it. Leaf ops (no
+    regions) take an allocation-free fast path — an SSA op cannot use its own
+    results, so every operand is free. The scheduler builds one dependency
+    graph per block with a free-value query per node; this entry point avoids
+    materializing the two {!Value_set}s that {!free_values} needs. *)
+let iter_free_values f (o : op) =
+  match o.regions with
+  | [] -> (
+      match o.operands with
+      | [] -> ()
+      | [ v ] -> f v
+      | [ a; b ] ->
+          f a;
+          if b.vid <> a.vid then f b
+      | vs ->
+          let seen = ref [] in
+          List.iter
+            (fun (v : value) ->
+              if not (List.memq v.vid !seen) then begin
+                seen := v.vid :: !seen;
+                f v
+              end)
+            vs)
+  | _ ->
+      let defined = Hashtbl.create 32 in
+      iter_op
+        (fun o ->
+          List.iter (fun (v : value) -> Hashtbl.replace defined v.vid ()) o.results;
+          (* bargs are not visited as ops; collect them per region here *)
+          List.iter
+            (List.iter (fun (b : block) ->
+                 List.iter (fun (v : value) -> Hashtbl.replace defined v.vid ()) b.bargs))
+            o.regions)
+        o;
+      let seen = Hashtbl.create 32 in
+      iter_op
+        (fun o ->
+          List.iter
+            (fun (v : value) ->
+              if not (Hashtbl.mem defined v.vid || Hashtbl.mem seen v.vid) then begin
+                Hashtbl.replace seen v.vid ();
+                f v
+              end)
+            o.operands)
+        o
+
 (** Values used inside [o] but not defined inside it (its free values, i.e.
     captures from enclosing scopes). Operands of [o] itself are included. *)
 let free_values o =
-  let defined = defined_values o in
-  let used = used_values o in
-  Value_set.diff used defined
+  let acc = ref Value_set.empty in
+  iter_free_values (fun v -> acc := Value_set.add v.vid !acc) o;
+  !acc

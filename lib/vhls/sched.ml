@@ -49,13 +49,12 @@ let build ~delay_of (ops : Ir.op list) : graph =
     nodes;
   Array.iter
     (fun nd ->
-      let frees = Walk.free_values nd.op in
-      Ir.Value_set.iter
-        (fun vid ->
-          match Hashtbl.find_opt producer vid with
+      Walk.iter_free_values
+        (fun (v : Ir.value) ->
+          match Hashtbl.find_opt producer v.Ir.vid with
           | Some i when i <> nd.idx -> preds.(nd.idx) <- (i, nodes.(i).delay) :: preds.(nd.idx)
           | _ -> ())
-        frees)
+        nd.op)
     nodes;
   (* Memory ordering edges between nodes touching the same memref, at least
      one writing — built per memref as last-store / reads-since-store chains

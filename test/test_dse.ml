@@ -326,6 +326,93 @@ let test_fingerprint_sensitivity () =
   Alcotest.(check bool) "f32 result <> f64 result" false
     (fp_eq (mk_typed Mir.Ty.F32) (mk_typed Mir.Ty.F64))
 
+(* ---- Per-band fingerprints --------------------------------------------------------------- *)
+
+(* The cross-point estimator memo keys each pipelined band by
+   [Fingerprint.subtree] with the target II normalized out of the loop
+   directive and free-value ranges folded in. These tests pin the key's
+   contract: position-independent within a function, insensitive to the
+   target II (the ladder-sharing invariant), sensitive to everything else a
+   design point can change, and collision-free across structurally
+   different bands. *)
+
+let band_keys f =
+  Estimator.build_func_info ~with_keys:true f
+  |> fun fi ->
+  List.map
+    (fun br ->
+      match br.Estimator.br_key with
+      | Some k -> k
+      | None -> Alcotest.fail "band unexpectedly not memoizable")
+    fi.Estimator.fi_bands
+
+let gemm_band_keys ?(n = 8) pt =
+  let ctx = Mir.Ir.Ctx.create () in
+  let m = Pipeline.compile_c ctx (Models.Polybench.source Models.Polybench.Gemm ~n) in
+  match Dse.apply_point ctx m ~top:"gemm" pt with
+  | exception Dse.Inapplicable -> Alcotest.fail "point inapplicable on gemm"
+  | m' -> band_keys (Mir.Ir.find_func_exn m' "gemm")
+
+let gemm_pt = { Dse.lp = true; rvb = false; perm = [ 0; 1; 2 ]; tiles = [ 2; 2; 2 ]; target_ii = 1 }
+
+let test_band_fp_reorder_stable () =
+  (* Two independent sibling bands over distinct memrefs: each band's key
+     must depend only on its own subtree + range environment, so swapping
+     the bands swaps the key list without changing either key. *)
+  let open Dialects in
+  let ctx = Mir.Ir.Ctx.create () in
+  let mk_band mem ~ub =
+    let loop =
+      Affine_d.for_const ctx ~lb:0 ~ub (fun i ->
+          let ol, vl = Affine_d.load_id ctx mem [ i ] in
+          let oa, va = Arith.addf ctx vl vl in
+          let os = Affine_d.store_id ctx va mem [ i ] in
+          [ ol; oa; os ])
+    in
+    Hlscpp.set_loop_directive loop
+      { Hlscpp.default_loop_directive with Hlscpp.loop_pipeline = true }
+  in
+  let mk swapped =
+    Func.func ctx ~name:"f"
+      ~inputs:[ Mir.Ty.memref [ 8 ] Mir.Ty.F32; Mir.Ty.memref [ 16 ] Mir.Ty.F32 ]
+      ~outputs:[]
+      (fun args ->
+        let a = List.nth args 0 and b = List.nth args 1 in
+        let ba = mk_band a ~ub:8 and bb = mk_band b ~ub:16 in
+        (if swapped then [ bb; ba ] else [ ba; bb ]) @ [ Func.return_ [] ])
+  in
+  match (band_keys (mk false), band_keys (mk true)) with
+  | [ ka; kb ], [ kb'; ka' ] ->
+      Alcotest.(check bool) "band A key position-independent" true (Int64.equal ka ka');
+      Alcotest.(check bool) "band B key position-independent" true (Int64.equal kb kb');
+      Alcotest.(check bool) "distinct bands get distinct keys" false (Int64.equal ka kb)
+  | ks, ks' ->
+      Alcotest.failf "expected 2 bands each, got %d and %d" (List.length ks) (List.length ks')
+
+let test_band_fp_tuple_sensitivity () =
+  let base = gemm_band_keys gemm_pt in
+  Alcotest.(check bool) "gemm has several bands" true (List.length base > 1);
+  (* target II is read back at estimation time, never baked into the
+     summary: ladder siblings must share every band key *)
+  Alcotest.(check bool) "target-II change preserves all keys" true
+    (base = gemm_band_keys { gemm_pt with Dse.target_ii = 3 });
+  (* any other tuple dimension restructures the nest: no key may survive *)
+  let disjoint a b = not (List.exists (fun k -> List.mem k b) a) in
+  Alcotest.(check bool) "tile change invalidates every key" true
+    (disjoint base (gemm_band_keys { gemm_pt with Dse.tiles = [ 4; 4; 4 ] }));
+  Alcotest.(check bool) "perm change invalidates every key" true
+    (disjoint base (gemm_band_keys { gemm_pt with Dse.perm = [ 1; 0; 2 ] }))
+
+let test_band_fp_cross_function () =
+  (* Fresh contexts, same source, same point: the keys must agree exactly
+     (this is what lets one DSE worker reuse another's summaries). A
+     different problem size must collide with none of them. *)
+  Alcotest.(check bool) "identical bands across fresh contexts" true
+    (gemm_band_keys gemm_pt = gemm_band_keys gemm_pt);
+  let k8 = gemm_band_keys ~n:8 gemm_pt and k16 = gemm_band_keys ~n:16 gemm_pt in
+  Alcotest.(check bool) "different trip counts never collide" false
+    (List.exists (fun k -> List.mem k k16) k8)
+
 (* ---- Point canonicalization ------------------------------------------------------------- *)
 
 let test_canonical_points_share_key () =
@@ -339,15 +426,22 @@ let test_canonical_points_share_key () =
   let k2, _ = Dse.cache_key pre ~top:"gemm" clamped in
   Alcotest.(check bool) "clamped-equal points share the cache key" true (k1 = k2);
   Alcotest.(check (list int)) "canonical tiles" [ 1; 4; 4 ] c1.Dse.tiles;
-  (* and the engine really evaluates them once: the estimator memo sees one
-     miss (first point) and one hit (second point, fingerprint-identical) *)
-  let memo = Eval_cache.create () in
-  let ev pt = Dse.evaluate ~est_memo:memo ~pre ctx m ~top:"gemm" ~platform:P.xc7z020 pt in
-  (match (ev raw, ev clamped) with
-  | Some _, Some _ -> ()
-  | _ -> Alcotest.fail "points did not evaluate");
-  Alcotest.(check int) "estimator ran once" 1 (Eval_cache.misses memo);
-  Alcotest.(check int) "second point memoized" 1 (Eval_cache.hits memo)
+  (* and the engine really schedules them once: the band-granular estimator
+     memo re-schedules no band for the second, fingerprint-identical point *)
+  let memos = Estimator.create_memos () in
+  let ev pt = Dse.evaluate ~memos ~pre ctx m ~top:"gemm" ~platform:P.xc7z020 pt in
+  (match ev raw with
+  | Some _ -> ()
+  | None -> Alcotest.fail "raw point did not evaluate");
+  let misses_after_first = Estimator.memo_misses memos in
+  Alcotest.(check bool) "bands scheduled on first eval" true (misses_after_first > 0);
+  (match ev clamped with
+  | Some _ -> ()
+  | None -> Alcotest.fail "clamped point did not evaluate");
+  Alcotest.(check int) "no band re-scheduled for the clamped twin"
+    misses_after_first (Estimator.memo_misses memos);
+  Alcotest.(check bool) "band memo hit for the clamped twin" true
+    (Estimator.memo_hits memos > 0)
 
 (* ---- Symbolic vs materialized evaluation ------------------------------------------------- *)
 
@@ -406,6 +500,12 @@ let suite =
         test_fingerprint_deterministic;
       Alcotest.test_case "fingerprint: structural sensitivity" `Quick
         test_fingerprint_sensitivity;
+      Alcotest.test_case "band fingerprint: reorder-stable" `Quick
+        test_band_fp_reorder_stable;
+      Alcotest.test_case "band fingerprint: tuple sensitivity" `Quick
+        test_band_fp_tuple_sensitivity;
+      Alcotest.test_case "band fingerprint: cross-function sanity" `Quick
+        test_band_fp_cross_function;
       Alcotest.test_case "canonical points share cache key" `Quick
         test_canonical_points_share_key;
       Alcotest.test_case "symbolic = materialized (gemm)" `Slow test_symbolic_equiv_gemm;
