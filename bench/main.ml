@@ -366,6 +366,42 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
     r1.Dse.stats.Dse.symbolic_points;
   if not symbolic_frontier_match then
     Fmt.epr "WARNING: symbolic evaluation diverged from the materialized baseline@.";
+  (* Service arm: the scalehls-serve warm restart measured in-process. Cold
+     run against an empty disk-backed store, checkpoint, reload into a fresh
+     store, re-run: the warm run must replay the cold frontier bit-for-bit
+     while serving every evaluation from the restored cache. *)
+  let store_path = Filename.temp_file "scalehls-bench-store" ".jsonl" in
+  Sys.remove store_path;
+  let service_run () =
+    let store = Serve.Store.open_ ~path:store_path () in
+    let ctx = Ir.Ctx.create () in
+    let m = Pipeline.compile_c ctx (Models.Polybench.source kernel ~n:size) in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Dse.run ~samples ~iterations ~seed:42
+        ~cache:(Serve.Store.cache_for store "xc7z020")
+        ~memos:(Serve.Store.memos store)
+        ctx m ~top:(Models.Polybench.name kernel) ~platform:P.xc7z020
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    ignore (Serve.Store.save store);
+    (r, wall)
+  in
+  let rc, tc = service_run () in
+  let rw, tw = service_run () in
+  if Sys.file_exists store_path then Sys.remove store_path;
+  let warm_frontier_match =
+    frontier_sig rc = frontier_sig rw && rc.Dse.explored = rw.Dse.explored
+  in
+  let warm_hit_rate =
+    Dse.hit_rate rw.Dse.stats.Dse.cache_hits rw.Dse.stats.Dse.cache_misses
+  in
+  Fmt.pr "service   : cold %5.2fs (%.1f points/s) -> warm %5.2fs (%.1f points/s), %.2fx, %.0f%% warm hit rate, frontier match: %b@."
+    tc (pps rc tc) tw (pps rw tw)
+    (tc /. Float.max 1e-9 tw)
+    (100. *. warm_hit_rate) warm_frontier_match;
+  if not warm_frontier_match then
+    Fmt.epr "WARNING: warm-store DSE diverged from the cold baseline@.";
   let profile_json =
     String.concat ", "
       (List.map
@@ -398,6 +434,17 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
     "fallback_points": %d,
     "est_memo_hits": %d
   },
+  "service_warm_vs_cold": {
+    "cold_wall_s": %.3f,
+    "warm_wall_s": %.3f,
+    "speedup": %.3f,
+    "cold_points_per_sec": %.2f,
+    "warm_points_per_sec": %.2f,
+    "warm_eval_hits": %d,
+    "warm_eval_misses": %d,
+    "warm_hit_rate": %.4f,
+    "warm_frontier_match": %b
+  },
   "profile_s": { %s }
 }
 |}
@@ -413,7 +460,11 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
     t1 tm
     (tm /. Float.max 1e-9 t1)
     symbolic_frontier_match r1.Dse.stats.Dse.symbolic_points
-    r1.Dse.stats.Dse.fallback_points r1.Dse.stats.Dse.est_memo_hits profile_json;
+    r1.Dse.stats.Dse.fallback_points r1.Dse.stats.Dse.est_memo_hits tc tw
+    (tc /. Float.max 1e-9 tw)
+    (pps rc tc) (pps rw tw) rw.Dse.stats.Dse.cache_hits
+    rw.Dse.stats.Dse.cache_misses warm_hit_rate warm_frontier_match
+    profile_json;
   close_out oc;
   Fmt.pr "@.wrote BENCH_dse.json@."
 

@@ -26,7 +26,31 @@ let metrics =
            campaign counters, ...) as JSON Lines to $(docv) on exit. The \
            $(b,SCALEHLS_METRICS) environment variable sets a default.")
 
+(* The SIGINT/SIGTERM handlers raise {!Obs.Report.Terminated} so termination
+   unwinds through every [Fun.protect] finalizer on the stack — in
+   particular the exporter in {!Obs.Report.run}, which flushes the
+   [--trace] / [--metrics] files. A [Signal_default] handler would kill the
+   process between two writes and lose them. *)
+let install_termination_handlers () =
+  let raising signal =
+    Sys.Signal_handle (fun _ -> raise (Obs.Report.Terminated signal))
+  in
+  List.iter
+    (fun signal ->
+      (* Non-Unix platforms reject handler installation; termination then
+         simply stays abrupt. *)
+      try Sys.set_signal signal (raising signal) with Invalid_argument _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
 (** Wrap a binary's work: enables tracing when requested and flushes the
-    trace/metrics files plus a stderr summary on the way out (crash
-    included). *)
-let with_obs ~trace ~metrics f = Obs.Report.run ~trace ~metrics f
+    trace/metrics files plus a stderr summary on the way out — on normal
+    exit, on a crash, and on SIGINT/SIGTERM (conventional 128+N exit code).
+    Long-running binaries that want a graceful shutdown instead (the serve
+    daemon) override the handlers inside [f]. *)
+let with_obs ~trace ~metrics f =
+  install_termination_handlers ();
+  try Obs.Report.run ~trace ~metrics f
+  with Obs.Report.Terminated signal ->
+    let name = if signal = Sys.sigterm then "SIGTERM" else "SIGINT" in
+    Fmt.epr "terminated by %s@." name;
+    if signal = Sys.sigterm then 143 else 130

@@ -21,9 +21,122 @@ let platform_of_name = function
       Fmt.epr "unknown platform %s (xc7z020 | vu9p-slr)@." p;
       exit 2
 
+(* The --remote client: ship the search to a running scalehls-serve daemon
+   and render its streamed responses. Config fields mirror the local flags,
+   so the daemon's answer (warm cache or not) is bit-identical to the
+   in-process run — including the Pareto-frontier block below, printed by
+   the same code path on the decoded points. *)
+let print_remote_result j =
+  let module Json = Obs.Json in
+  let int k = match Json.member k j with Some (Json.Int i) -> i | _ -> 0 in
+  let wall_s =
+    match Json.member "wall_s" j with
+    | Some (Json.Float f) -> f
+    | Some (Json.Int i) -> float_of_int i
+    | _ -> 0.
+  in
+  Fmt.pr "explored %d design points in %.2fs (server wall time)@."
+    (int "explored") wall_s;
+  (match Json.member "stats" j with
+  | Some s ->
+      let stat k = match Json.member k s with Some (Json.Int i) -> i | _ -> 0 in
+      Fmt.pr "remote caches: eval %d/%d hits, estimator memo %d/%d hits@."
+        (stat "cache_hits")
+        (stat "cache_hits" + stat "cache_misses")
+        (stat "est_memo_hits")
+        (stat "est_memo_hits" + stat "est_memo_misses")
+  | None -> ());
+  (match Json.member "best" j with
+  | Some Json.Null | None -> Fmt.pr "no feasible design point found@."
+  | Some b ->
+      let b = Serve.Codec.evaluated_of_json b in
+      Fmt.pr "best point: %a@." Dse.pp_point b.Dse.point;
+      Fmt.pr "estimate  : %a@." Estimator.pp_estimate b.Dse.estimate);
+  let pareto =
+    match Json.member "pareto" j with
+    | Some (Json.List l) -> List.map Serve.Codec.evaluated_of_json l
+    | _ -> []
+  in
+  Fmt.pr "@.Pareto frontier (latency-increasing):@.";
+  List.iter
+    (fun p ->
+      Fmt.pr "  latency=%-10d dsp=%-5d %a@." p.Dse.estimate.Estimator.latency
+        p.Dse.estimate.Estimator.usage.Vhls.Platform.u_dsp Dse.pp_point
+        p.Dse.point)
+    pareto;
+  0
+
+let run_remote socket input kernel size top platform samples iterations seed
+    symbolic =
+  let module Json = Obs.Json in
+  let design =
+    match (input, kernel) with
+    | Some path, _ ->
+        let top =
+          match top with
+          | Some t -> t
+          | None -> Filename.remove_extension (Filename.basename path)
+        in
+        Serve.Protocol.C_source { src = read_file path; top }
+    | None, Some k -> Serve.Protocol.Kernel { kernel = k; size }
+    | None, None ->
+        Fmt.epr "provide an input file or --kernel NAME@.";
+        exit 2
+  in
+  let config =
+    { Serve.Protocol.samples; iterations; seed; symbolic; platform }
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with Unix.Unix_error (e, _, _) ->
+     Fmt.epr "cannot connect to %s: %s@." socket (Unix.error_message e);
+     exit 1);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  output_string oc
+    (Json.to_string (Serve.Protocol.search_request ~design ~config));
+  output_char oc '\n';
+  flush oc;
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) ->
+        Fmt.epr "connection closed before a result@.";
+        1
+    | line -> (
+        match Json.of_string line with
+        | Error msg ->
+            Fmt.epr "undecodable response: %s@." msg;
+            1
+        | Ok j -> (
+            match Json.member "resp" j with
+            | Some (Json.String "frontier") ->
+                (match (Json.member "explored" j, Json.member "points" j) with
+                | Some (Json.Int explored), Some (Json.List points) ->
+                    Fmt.epr "remote: %d points explored, frontier size %d@."
+                      explored (List.length points)
+                | _ -> ());
+                loop ()
+            | Some (Json.String "error") ->
+                let msg =
+                  match Json.member "message" j with
+                  | Some (Json.String m) -> m
+                  | _ -> "unknown error"
+                in
+                Fmt.epr "remote error: %s@." msg;
+                1
+            | Some (Json.String "result") -> print_remote_result j
+            | _ -> loop ()))
+  in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ()) loop
+
 let run input kernel size top platform samples iterations seed jobs symbolic
-    profile emit trace metrics =
+    profile emit remote trace metrics =
   Obs_flags.with_obs ~trace ~metrics @@ fun () ->
+  match remote with
+  | Some socket ->
+      run_remote socket input kernel size top platform samples iterations seed
+        symbolic
+  | None ->
   let ctx = Ir.Ctx.create () in
   let src, top =
     match (input, kernel) with
@@ -151,12 +264,25 @@ let profile =
 
 let emit = Arg.(value & opt (some string) None & info [ "emit" ] ~docv:"OUT.cpp" ~doc:"Emit optimized HLS C++")
 
+let remote =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "remote" ] ~docv:"SOCKET"
+        ~doc:
+          "Run the search on a scalehls-serve daemon listening on the \
+           Unix-domain socket $(docv) instead of in-process. The search \
+           config is taken from the same flags; frontier updates stream to \
+           stderr and the final Pareto frontier matches the in-process \
+           output bit-for-bit ($(b,--jobs), $(b,--profile) and $(b,--emit) \
+           are daemon-side concerns and are ignored).")
+
 let cmd =
   let doc = "ScaleHLS automated design space exploration" in
   Cmd.v (Cmd.info "scalehls-dse" ~doc)
     Term.(
       const run $ input $ kernel $ size $ top $ platform $ samples $ iterations
-      $ seed $ jobs $ symbolic $ profile $ emit $ Obs_flags.trace
+      $ seed $ jobs $ symbolic $ profile $ emit $ remote $ Obs_flags.trace
       $ Obs_flags.metrics)
 
 let () = exit (Cmd.eval' cmd)

@@ -542,6 +542,12 @@ type tf_memo = (int64 * int list * int list, Ir.op option) Eval_cache.t
     {!Inapplicable}. Entries are target-II-agnostic; consumers patch the
     directive with {!retarget_ii}. *)
 
+type eval_cache = (int64 * int list * int list * int, evaluated option) Eval_cache.t
+(** The engine's evaluation cache: {!cache_key} -> evaluation outcome
+    ([None] = inapplicable). Entries are plain data, valid across runs and
+    processes — a persistent service shares one cache between searches
+    (see [?cache] on {!run}). *)
+
 (** Evaluate one design point. [?pre] supplies the (lp, rvb)-preprocessed
     module (the engine memoizes it; without it the preprocessing is run here).
     [?symbolic] selects the evaluation path (default symbolic, see
@@ -763,10 +769,24 @@ let record_metrics (s : stats) explored =
     evaluation allocates heavily on the shared major heap, and domains beyond
     the core count add only GC-synchronization overhead (measured ~linear
     slowdown per extra busy domain on an oversubscribed machine), never
-    parallelism. *)
+    parallelism.
+
+    The service-mode hooks keep the search a pure function of its
+    configuration even when state is shared across runs:
+    [?cache] supplies a shared (possibly disk-warmed) evaluation cache —
+    entries present before a point is first proposed merge into the run as
+    if freshly evaluated, in proposal order, so the frontier and explored
+    count are bit-identical to a cold run; [?memos] shares the estimator's
+    band memo the same way. [?pool] runs batches on an external worker pool
+    (not shut down here) and [?batch_wrap] is called around every pool
+    submission, letting a scheduler interleave several concurrent searches
+    fairly at batch granularity. [?on_frontier] fires with the current
+    frontier and explored count after every traversal round (and once at
+    the end) — the streaming hook. *)
 let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
-    ?(max_ii = 8) ?(heuristic_seeds = true) ?(jobs = 1) ?(symbolic = true) ctx
-    m ~top ~platform : result =
+    ?(max_ii = 8) ?(heuristic_seeds = true) ?(jobs = 1) ?(symbolic = true)
+    ?cache:cache_opt ?memos:memos_opt ?pool:pool_opt
+    ?(batch_wrap = fun f -> f ()) ?on_frontier ctx m ~top ~platform : result =
   let jobs =
     let cores = Domain.recommended_domain_count () in
     if jobs <= 0 then cores else min jobs cores
@@ -788,10 +808,23 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
      cached module), and the estimator's band memo shares schedules between
      structurally identical pipelined bands across points. *)
   let pre_cache : (bool * bool, Ir.op) Eval_cache.t = Eval_cache.create ~size:4 () in
-  let cache : (int64 * int list * int list * int, evaluated option) Eval_cache.t =
-    Eval_cache.create ()
+  let cache : eval_cache =
+    match cache_opt with Some c -> c | None -> Eval_cache.create ()
   in
-  let memos = Estimator.create_memos () in
+  let memos = match memos_opt with Some ms -> ms | None -> Estimator.create_memos () in
+  (* Shared caches carry their counters across runs; per-run stats are deltas
+     against these baselines (approximate when concurrent runs share the
+     cache — counters are process-global, the search itself is not). *)
+  let cache_h0 = Eval_cache.hits cache and cache_m0 = Eval_cache.misses cache in
+  let memo_h0 = Estimator.memo_hits memos
+  and memo_m0 = Estimator.memo_misses memos in
+  (* The per-run "seen" set. With a private cache it mirrors the cache's key
+     set; with a shared cache it is the subset this run has proposed, so
+     pre-warmed entries are recognized as *new to this run* and merged
+     (below) instead of silently skipped. *)
+  let seen : (int64 * int list * int list * int, unit) Hashtbl.t =
+    Hashtbl.create 64
+  in
   let tf_memo : tf_memo = Eval_cache.create () in
   let preprocessed lp rvb =
     Eval_cache.find_or_add pre_cache (lp, rvb) (fun () ->
@@ -879,36 +912,62 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
     in
     List.iter (Hashtbl.remove modules) drop
   in
-  Parpool.with_pool ~jobs @@ fun pool ->
-  (* Evaluate a batch of proposals: dedup within the batch, drop already
-     cached points (counted as cache hits), evaluate the rest on the pool,
-     and merge results in submission order — the merge order, not worker
-     scheduling, defines the engine's state. *)
+  let run_on_pool pool =
+  (* Evaluate a batch of proposals: dedup within the batch, skip points this
+     run already merged (counted as cache hits), evaluate the rest on the
+     pool, and merge results in submission order — the merge order, not
+     worker scheduling, defines the engine's state. A point whose result is
+     already in a shared cache but not yet seen this run merges at its
+     proposal position exactly like a fresh evaluation, so warm runs replay
+     the cold run's state evolution bit-for-bit. *)
   let eval_batch pts =
     let in_batch = Hashtbl.create 16 in
-    let fresh =
+    let items =
       List.filter_map
         (fun pt ->
           let key, c = key_of pt in
           if Hashtbl.mem in_batch key then None
           else begin
             Hashtbl.replace in_batch key ();
-            if Option.is_none (Eval_cache.find_opt cache key) then Some (key, c)
-            else None
+            match Eval_cache.find_opt cache key with
+            | Some res when not (Hashtbl.mem seen key) ->
+                Hashtbl.replace seen key ();
+                Some (`Cached res)
+            | Some _ -> None (* re-proposal within this run *)
+            | None ->
+                Hashtbl.replace seen key ();
+                Some (`Fresh (key, c))
           end)
         pts
     in
-    let results = Parpool.map pool (fun (_, c) -> eval_one c) fresh in
-    List.iter2
-      (fun (key, c) res ->
-        Eval_cache.add cache key (Option.map fst res);
-        incr explored;
-        match res with
-        | Some (ev, m') ->
-            evaluated := ev :: !evaluated;
-            if ev.feasible then Hashtbl.replace modules c m'
-        | None -> ())
-      fresh results
+    let fresh =
+      List.filter_map (function `Fresh kc -> Some kc | `Cached _ -> None) items
+    in
+    let results =
+      if fresh = [] then []
+      else batch_wrap (fun () -> Parpool.map pool (fun (_, c) -> eval_one c) fresh)
+    in
+    let rec merge items results =
+      match (items, results) with
+      | [], [] -> ()
+      | `Cached res :: items', _ ->
+          incr explored;
+          (match res with
+          | Some ev -> evaluated := ev :: !evaluated
+          | None -> ());
+          merge items' results
+      | `Fresh (key, c) :: items', res :: results' ->
+          Eval_cache.add cache key (Option.map fst res);
+          incr explored;
+          (match res with
+          | Some (ev, m') ->
+              evaluated := ev :: !evaluated;
+              if ev.feasible then Hashtbl.replace modules c m'
+          | None -> ());
+          merge items' results'
+      | `Fresh _ :: _, [] | [], _ :: _ -> assert false
+    in
+    merge items results
   in
   (* Step 1: seed with the identity/no-op point plus promising defaults, then
      random samples — all drawn up front on the coordinator and evaluated as
@@ -981,7 +1040,8 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
       [
         ("size", float_of_int (List.length frontier));
         ("explored", float_of_int !explored);
-      ]
+      ];
+    match on_frontier with Some cb -> cb frontier !explored | None -> ()
   in
   while !continue_ && !used < iterations do
     let frontier = pareto_now () in
@@ -1014,8 +1074,11 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
               fr.(Random.State.int rng (Array.length fr))
         in
         let ns =
+          (* Unexplored means "not seen by this run": entries a shared cache
+             holds from other runs still merge (warm) through [eval_batch],
+             keeping the traversal identical to a cold run. *)
           List.filter
-            (fun n -> not (Eval_cache.mem cache (fst (key_of n))))
+            (fun n -> not (Hashtbl.mem seen (fst (key_of n))))
             (neighbors s p.point)
         in
         (match ns with
@@ -1057,13 +1120,13 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
       wall_seconds = Obs.Clock.since_s t_start;
       pre_hits = Eval_cache.hits pre_cache;
       pre_misses = Eval_cache.misses pre_cache;
-      cache_hits = Eval_cache.hits cache;
-      cache_misses = Eval_cache.misses cache;
+      cache_hits = Eval_cache.hits cache - cache_h0;
+      cache_misses = Eval_cache.misses cache - cache_m0;
       symbolic_points = instr.n_symbolic;
       fallback_points = instr.n_fallback;
       fallback_reasons = instr_reasons instr;
-      est_memo_hits = Estimator.memo_hits memos;
-      est_memo_misses = Estimator.memo_misses memos;
+      est_memo_hits = Estimator.memo_hits memos - memo_h0;
+      est_memo_misses = Estimator.memo_misses memos - memo_m0;
       tf_hits = Eval_cache.hits tf_memo;
       tf_misses = Eval_cache.misses tf_memo;
       worker_busy = Parpool.busy_fractions pool;
@@ -1072,3 +1135,7 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
   in
   record_metrics stats !explored;
   { best; pareto = frontier; explored = !explored; module_; stats }
+  in
+  match pool_opt with
+  | Some pool -> run_on_pool pool
+  | None -> Parpool.with_pool ~jobs run_on_pool

@@ -76,6 +76,13 @@ let memo_hits m = Eval_cache.hits m.bands
 let memo_misses m = Eval_cache.misses m.bands
 let memo_length m = Eval_cache.length m.bands
 
+(** Export/import of the persistable part of a memo: the band summaries are
+    plain data keyed by contextual fingerprint, so they survive a process
+    restart unchanged. The [func_info] cache keys on physical op identity
+    (and pins its modules live) — it is never persisted. *)
+let export_bands m = Eval_cache.bindings m.bands
+let import_bands m l = List.iter (fun (k, v) -> Eval_cache.add m.bands k v) l
+
 type t = {
   module_ : Ir.op;
   cache : (string, estimate) Hashtbl.t;

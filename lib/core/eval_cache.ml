@@ -62,6 +62,12 @@ let hits c = with_lock c (fun () -> c.hits)
 let misses c = with_lock c (fun () -> c.misses)
 let length c = with_lock c (fun () -> Hashtbl.length c.tbl)
 
+(** Snapshot of the current bindings, e.g. for persistence. Taken under the
+    lock; the order is unspecified (callers that need a stable order sort by
+    key). *)
+let bindings c =
+  with_lock c (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.tbl [])
+
 let clear c =
   with_lock c (fun () ->
       Hashtbl.reset c.tbl;

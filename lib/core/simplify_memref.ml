@@ -1,7 +1,15 @@
 (** The [-simplify-memref-access] pass (§5.4): folds identical memory reads
     (same memref, same access map and operands) within a block when no
     intervening operation may write the memref — reducing memory port
-    pressure before scheduling. *)
+    pressure before scheduling.
+
+    Ops that carry regions ([affine.for], [affine.if], ...) act as barriers
+    even when their bodies provably never write the memref: unroll/guard
+    specialization can delete one side of a load pair that straddles a
+    region op, so coalescing across it on the rolled module would pin the
+    surviving load at a different position than cleanup of the materialized
+    (unrolled) module chooses. Keeping the pass straight-line makes the
+    symbolic and materialized evaluation paths converge structurally. *)
 
 open Mir
 open Dialects
@@ -35,8 +43,13 @@ let run_on_func _ctx f =
                 Hashtbl.replace seen k (Ir.result o);
                 Some o
           end
+          else if o.Ir.regions <> [] then begin
+            (* Region ops are barriers (see header comment). *)
+            Hashtbl.reset seen;
+            Some o
+          end
           else begin
-            (* Writes (direct or nested) invalidate the loads of that memref. *)
+            (* Writes invalidate the loads of that memref. *)
             let vids =
               Hashtbl.fold (fun (m, _, _) _ acc -> m :: acc) seen []
               |> List.sort_uniq compare

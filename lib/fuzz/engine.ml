@@ -153,6 +153,7 @@ let run ?(params = Gen.default_params) ?eps ?(dse_every = 0) ?(reduce = false)
                      o.Reduce.initial_size o.Reduce.final_size o.Reduce.steps);
                 (Some c, first_failure_of c ~prog_seed ~top kind)
             | exception e ->
+                Oracle.reraise_terminated e;
                 log (Fmt.str "  reduction failed: %s" (Printexc.to_string e));
                 (None, None)
           end

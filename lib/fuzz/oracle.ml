@@ -29,6 +29,12 @@ let pp_failure fmt f =
 
 let fail ?stage oracle fmt = Fmt.kstr (fun detail -> { oracle; stage; detail }) fmt
 
+(* Oracles record crashes as findings, but termination must never become
+   one: call this first in every catch-all so SIGINT/SIGTERM keeps unwinding
+   to the exporter in {!Obs.Report.run}. *)
+let reraise_terminated e =
+  match e with Obs.Report.Terminated _ -> raise e | _ -> ()
+
 (* ---- Seeded interpreter inputs -------------------------------------------- *)
 
 (* Deterministic argument vector for [top] of [m], derived from the function
@@ -83,6 +89,7 @@ let differential ?eps ~seed m ~top ~pipeline : failure list =
   | None -> (
       match run_outputs ~seed m ~top with
       | exception e ->
+          reraise_terminated e;
           [ fail "gen-interp" "generated module does not interpret: %s" (Printexc.to_string e) ]
       | want ->
           let _, failures =
@@ -95,6 +102,7 @@ let differential ?eps ~seed m ~top ~pipeline : failure list =
                   | Some p -> (
                       match Pass.run_one p (Ir.Ctx.of_op m) m with
                       | exception e ->
+                          reraise_terminated e;
                           (m, [ fail ~stage:name "pass-crash" "%s" (Printexc.to_string e) ])
                       | m' -> (
                           match verify_errors m' with
@@ -103,6 +111,7 @@ let differential ?eps ~seed m ~top ~pipeline : failure list =
                           | None -> (
                               match run_outputs ~seed m' ~top with
                               | exception e ->
+                                  reraise_terminated e;
                                   ( m',
                                     [
                                       fail ~stage:name "interp-error" "output does not interpret: %s"
@@ -143,6 +152,7 @@ let qor_pipelining_monotone ?(slack = 0) m ~top : failure list =
           ]
         else []
       with e ->
+        reraise_terminated e;
         [ fail ~stage:"loop-pipelining" "qor-pipeline" "crash: %s" (Printexc.to_string e) ])
 
 (** The fast estimator and the virtual synthesizer model the same QoR; they
@@ -159,7 +169,9 @@ let qor_estimator_agrees ?(factor = 8.) ?(abs_slack = 64) m ~top : failure list 
           abs_slack;
       ]
     else []
-  with e -> [ fail "qor-estimator" "crash: %s" (Printexc.to_string e) ]
+  with e ->
+    reraise_terminated e;
+    [ fail "qor-estimator" "crash: %s" (Printexc.to_string e) ]
 
 (* ---- DSE determinism oracle ------------------------------------------------- *)
 
@@ -216,7 +228,9 @@ let dse_symbolic_equiv ?(points = 6) ~seed m ~top : failure list =
             :: !fails
     done;
     List.rev !fails
-  with e -> [ fail "dse-symbolic" "crash: %s" (Printexc.to_string e) ]
+  with e ->
+    reraise_terminated e;
+    [ fail "dse-symbolic" "crash: %s" (Printexc.to_string e) ]
 
 (** The incremental band-delta estimator must be invisible: estimating a
     transformed module against a warm cross-point memo
@@ -271,7 +285,9 @@ let dse_incremental ?(points = 4) ~seed m ~top : failure list =
                   :: !fails)
     done;
     List.rev !fails
-  with e -> [ fail "dse-incremental" "crash: %s" (Printexc.to_string e) ]
+  with e ->
+    reraise_terminated e;
+    [ fail "dse-incremental" "crash: %s" (Printexc.to_string e) ]
 
 (** A parallel DSE run must be bit-identical to the sequential one: same
     explored count, same best point, same Pareto frontier. *)
@@ -307,4 +323,6 @@ let dse_jobs_deterministic ?(samples = 4) ?(iterations = 6) ~seed m ~top : failu
           (List.length p2)
         :: !fails;
     List.rev !fails
-  with e -> [ fail "dse-jobs" "crash: %s" (Printexc.to_string e) ]
+  with e ->
+    reraise_terminated e;
+    [ fail "dse-jobs" "crash: %s" (Printexc.to_string e) ]

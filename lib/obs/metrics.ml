@@ -156,6 +156,23 @@ let rows () =
         items)
     (registries ())
 
+(** One JSON object for the whole process: registries keyed by name, each an
+    object of its metrics — the shape a status/introspection endpoint
+    returns. Nested rather than row-per-metric so consumers can index
+    [.dse."eval_cache.hit_rate"] directly. *)
+let snapshot () =
+  Json.Obj
+    (List.map
+       (fun r ->
+         Mutex.lock r.r_lock;
+         let items = List.rev r.r_items in
+         Mutex.unlock r.r_lock;
+         ( r.r_name,
+           Json.Obj
+             (List.map (fun (name, i) -> (name, Json.Obj (instrument_fields i))) items)
+         ))
+       (registries ()))
+
 (** Write the metrics as JSON Lines (one object per line). *)
 let write_jsonl path =
   let oc = open_out path in

@@ -6,6 +6,14 @@
     stderr are written on the way out — including when the wrapped work
     raises, so a crashing run still leaves its trace behind. *)
 
+(** Raised (by the binaries' SIGINT/SIGTERM handlers) to unwind through
+    {!run}'s finalizer so the trace/metrics files flush on termination.
+    Catch-all recovery sites — fuzz oracles recording crashes as findings,
+    batch drivers tolerating per-item failures — must re-raise it: a
+    swallowed [Terminated] turns Ctrl-C into an ignored finding and the
+    process keeps running. *)
+exception Terminated of int
+
 let env_trace = "SCALEHLS_TRACE"
 let env_metrics = "SCALEHLS_METRICS"
 

@@ -1,0 +1,167 @@
+(** JSON codecs for the service protocol and the persistent store: design
+    points, estimates, evaluated records, estimator band summaries, and the
+    evaluation-cache keys. Decoders raise {!Malformed} on any shape mismatch
+    — callers (the store loader, the request dispatcher) catch it and treat
+    the input as corrupt rather than crash. *)
+
+open Scalehls
+open Vhls
+module Json = Obs.Json
+
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+let member key j =
+  match Json.member key j with
+  | Some v -> v
+  | None -> fail "missing field %S" key
+
+let to_int = function
+  | Json.Int i -> i
+  | Json.Float f when Float.is_integer f -> int_of_float f
+  | _ -> fail "expected an integer"
+
+let to_bool = function Json.Bool b -> b | _ -> fail "expected a bool"
+let to_string = function Json.String s -> s | _ -> fail "expected a string"
+let to_list = function Json.List l -> l | _ -> fail "expected a list"
+let int_field k j = to_int (member k j)
+
+let int_list_to_json l = Json.List (List.map (fun i -> Json.Int i) l)
+let int_list_of_json j = List.map to_int (to_list j)
+
+(* Fingerprints travel as the 16-hex-digit form {!Mir.Fingerprint.to_hex}
+   prints; parsing goes through the unsigned 0x reading so the full int64
+   range round-trips. *)
+let fp_to_json fp = Json.String (Mir.Fingerprint.to_hex fp)
+
+let fp_of_json j =
+  let s = to_string j in
+  match Int64.of_string_opt ("0x" ^ s) with
+  | Some fp -> fp
+  | None -> fail "bad fingerprint %S" s
+
+(* ---- Design points and evaluations ---------------------------------------- *)
+
+let point_to_json (p : Dse.point) =
+  Json.Obj
+    [
+      ("lp", Json.Bool p.Dse.lp);
+      ("rvb", Json.Bool p.Dse.rvb);
+      ("perm", int_list_to_json p.Dse.perm);
+      ("tiles", int_list_to_json p.Dse.tiles);
+      ("ii", Json.Int p.Dse.target_ii);
+    ]
+
+let point_of_json j =
+  {
+    Dse.lp = to_bool (member "lp" j);
+    rvb = to_bool (member "rvb" j);
+    perm = int_list_of_json (member "perm" j);
+    tiles = int_list_of_json (member "tiles" j);
+    target_ii = int_field "ii" j;
+  }
+
+let usage_to_json (u : Platform.usage) =
+  Json.Obj
+    [
+      ("bram18", Json.Int u.Platform.u_bram18);
+      ("dsp", Json.Int u.Platform.u_dsp);
+      ("lut", Json.Int u.Platform.u_lut);
+      ("ff", Json.Int u.Platform.u_ff);
+      ("bits", Json.Int u.Platform.u_bits);
+    ]
+
+let usage_of_json j =
+  {
+    Platform.u_bram18 = int_field "bram18" j;
+    u_dsp = int_field "dsp" j;
+    u_lut = int_field "lut" j;
+    u_ff = int_field "ff" j;
+    u_bits = int_field "bits" j;
+  }
+
+let estimate_to_json (e : Estimator.estimate) =
+  Json.Obj
+    [
+      ("latency", Json.Int e.Estimator.latency);
+      ("interval", Json.Int e.Estimator.interval);
+      ("usage", usage_to_json e.Estimator.usage);
+    ]
+
+let estimate_of_json j =
+  {
+    Estimator.latency = int_field "latency" j;
+    interval = int_field "interval" j;
+    usage = usage_of_json (member "usage" j);
+  }
+
+let evaluated_to_json (ev : Dse.evaluated) =
+  Json.Obj
+    [
+      ("point", point_to_json ev.Dse.point);
+      ("estimate", estimate_to_json ev.Dse.estimate);
+      ("feasible", Json.Bool ev.Dse.feasible);
+    ]
+
+let evaluated_of_json j =
+  {
+    Dse.point = point_of_json (member "point" j);
+    estimate = estimate_of_json (member "estimate" j);
+    feasible = to_bool (member "feasible" j);
+  }
+
+(** The evaluation-cache value: [Null] encodes an inapplicable point. *)
+let evaluated_opt_to_json = function
+  | None -> Json.Null
+  | Some ev -> evaluated_to_json ev
+
+let evaluated_opt_of_json = function
+  | Json.Null -> None
+  | j -> Some (evaluated_of_json j)
+
+(** An evaluation-cache key, {!Dse.cache_key}'s
+    (pre-module fingerprint, canonical perm, canonical tiles, target II). *)
+let eval_key_to_json ((fp, perm, tiles, ii) : int64 * int list * int list * int) =
+  Json.Obj
+    [
+      ("fp", fp_to_json fp);
+      ("perm", int_list_to_json perm);
+      ("tiles", int_list_to_json tiles);
+      ("ii", Json.Int ii);
+    ]
+
+let eval_key_of_json j =
+  ( fp_of_json (member "fp" j),
+    int_list_of_json (member "perm" j),
+    int_list_of_json (member "tiles" j),
+    int_field "ii" j )
+
+(* ---- Estimator band summaries ---------------------------------------------- *)
+
+let band_summary_to_json (s : Estimator.band_summary) =
+  Json.Obj
+    [
+      ("ii_base", Json.Int s.Estimator.bs_ii_base);
+      ("iter_lat", Json.Int s.Estimator.bs_iter_lat);
+      ("trip", Json.Int s.Estimator.bs_total_trip);
+      ( "fu",
+        Json.List
+          (List.map
+             (fun (op, n) -> Json.List [ Json.String op; Json.Int n ])
+             s.Estimator.bs_fu_counts) );
+    ]
+
+let band_summary_of_json j =
+  {
+    Estimator.bs_ii_base = int_field "ii_base" j;
+    bs_iter_lat = int_field "iter_lat" j;
+    bs_total_trip = int_field "trip" j;
+    bs_fu_counts =
+      List.map
+        (fun pair ->
+          match to_list pair with
+          | [ op; n ] -> (to_string op, to_int n)
+          | _ -> fail "bad fu pair")
+        (to_list (member "fu" j));
+  }

@@ -1,0 +1,63 @@
+(** Fair round-robin scheduling of concurrent searches onto one shared
+    worker pool.
+
+    The DSE engine is batch-synchronous: each round submits one batch to the
+    {!Scalehls.Parpool} and blocks for the results. The scheduler exploits
+    exactly that grain — every search wraps its pool submissions in
+    {!with_turn} (via [Dse.run ~batch_wrap]), and turns are granted in FIFO
+    order of request. A search that just finished a batch re-queues behind
+    every other waiting search before its next one, so [k] concurrent
+    searches interleave round-robin at batch granularity: the pool is never
+    oversubscribed (one batch owns all workers at a time, keeping per-batch
+    wall time and worker utilization as in a solo run) and no search starves.
+    Searches, not points, are the unit of concurrency — matching the service
+    model where throughput comes from many independent requests. *)
+
+type t = {
+  lock : Mutex.t;
+  turn_free : Condition.t;
+  mutable waiting : int list;  (** ticket queue, FIFO (head holds the floor next) *)
+  mutable active : int option;  (** ticket currently holding the pool *)
+  mutable next_ticket : int;
+  mutable granted : int;  (** turns granted so far (telemetry) *)
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    turn_free = Condition.create ();
+    waiting = [];
+    active = None;
+    next_ticket = 0;
+    granted = 0;
+  }
+
+(** Run [f] while holding the pool: blocks until every earlier requester has
+    had its turn, runs [f], releases. Reentrant calls would self-deadlock —
+    the engine never nests batches. *)
+let with_turn t f =
+  Mutex.lock t.lock;
+  let ticket = t.next_ticket in
+  t.next_ticket <- ticket + 1;
+  t.waiting <- t.waiting @ [ ticket ];
+  while not (t.active = None && List.hd t.waiting = ticket) do
+    Condition.wait t.turn_free t.lock
+  done;
+  t.waiting <- List.tl t.waiting;
+  t.active <- Some ticket;
+  t.granted <- t.granted + 1;
+  Mutex.unlock t.lock;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.lock;
+      t.active <- None;
+      Condition.broadcast t.turn_free;
+      Mutex.unlock t.lock)
+    f
+
+(** (waiting searches, a turn is active, turns granted so far). *)
+let stats t =
+  Mutex.lock t.lock;
+  let r = (List.length t.waiting, t.active <> None, t.granted) in
+  Mutex.unlock t.lock;
+  r

@@ -1,0 +1,225 @@
+(** The daemon: a Unix-domain-socket accept loop dispatching the
+    {!Protocol} over per-connection threads.
+
+    Concurrency model: every accepted connection gets a system thread that
+    reads requests sequentially; a [search] request runs the full DSE on
+    that thread, submitting its evaluation batches to the one shared
+    {!Scalehls.Parpool} under the {!Scheduler}'s round-robin gate. Search
+    coordination (batch construction, Pareto maintenance) is cheap and
+    interleaves on the runtime lock; the evaluation work itself runs on the
+    pool's worker domains — so [k] concurrent client searches share the
+    machine fairly without oversubscribing it. Results stream back as they
+    form: one [frontier] line per traversal round, then the final [result].
+
+    State shared across requests: the {!Store} (per-platform evaluation
+    caches + estimator band memos, disk-backed), checkpointed every
+    [checkpoint_every] seconds from the accept loop and once more on
+    graceful shutdown. {!stop} only flips an atomic — safe from a signal
+    handler — and the accept loop (select with a short timeout) notices it
+    within a beat, drains running searches, checkpoints, and returns. *)
+
+open Scalehls
+module Json = Obs.Json
+
+type t = {
+  socket_path : string;
+  store : Store.t;
+  pool : Parpool.t;
+  sched : Scheduler.t;
+  registry : Jobs.t;
+  stop_flag : bool Atomic.t;
+  checkpoint_every : float;
+}
+
+(** [create ~socket ()] prepares a server (no socket is bound until {!run}).
+    [store_path] enables persistence; [jobs] sizes the shared worker pool
+    ([0] = one per core); [checkpoint_every] is the periodic-checkpoint
+    interval in seconds ([0.] disables periodic checkpoints — shutdown still
+    saves). *)
+let create ~socket ?store_path ?(jobs = 0) ?(checkpoint_every = 60.) () =
+  {
+    socket_path = socket;
+    store = Store.open_ ?path:store_path ();
+    pool = Parpool.create ~jobs ();
+    sched = Scheduler.create ();
+    registry = Jobs.create ();
+    stop_flag = Atomic.make false;
+    checkpoint_every;
+  }
+
+let store t = t.store
+
+(** Request shutdown. Async-signal-safe (a single atomic store): install it
+    directly as the SIGINT/SIGTERM handler. *)
+let stop t = Atomic.set t.stop_flag true
+
+let platform_of_name = function
+  | "xc7z020" -> Some Vhls.Platform.xc7z020
+  | "vu9p" | "vu9p-slr" -> Some Vhls.Platform.vu9p_slr
+  | _ -> None
+
+let status_json t =
+  let queued, running, done_, failed = Jobs.counts t.registry in
+  let sched_waiting, sched_active, sched_granted = Scheduler.stats t.sched in
+  Protocol.resp "status"
+    [
+      ( "queue",
+        Json.Obj
+          [
+            ("queued", Json.Int queued);
+            ("running", Json.Int running);
+            ("done", Json.Int done_);
+            ("failed", Json.Int failed);
+            ("batches_waiting", Json.Int sched_waiting);
+            ("batch_active", Json.Bool sched_active);
+            ("batches_granted", Json.Int sched_granted);
+          ] );
+      ("jobs", Jobs.to_status_json t.registry);
+      ("store", Store.to_status_json t.store);
+      ( "workers",
+        Json.List
+          (List.map
+             (fun (i, f) ->
+               Json.Obj
+                 [ ("worker", Json.Int i); ("busy_fraction", Json.Float f) ])
+             (Parpool.busy_fractions t.pool)) );
+      ("metrics", Obs.Metrics.snapshot ());
+    ]
+
+let run_search t send (design : Protocol.design) (config : Protocol.config) =
+  let label = Protocol.design_label design in
+  let job = Jobs.submit t.registry ~label in
+  send (Protocol.ack ~job_id:job.Jobs.id ~label);
+  match
+    let src, top =
+      match design with
+      | Protocol.Kernel { kernel; size } ->
+          let k = Models.Polybench.of_name kernel in
+          (Models.Polybench.source k ~n:size, Models.Polybench.name k)
+      | Protocol.C_source { src; top } -> (src, top)
+    in
+    let platform =
+      match platform_of_name config.Protocol.platform with
+      | Some p -> p
+      | None ->
+          invalid_arg
+            (Printf.sprintf "unknown platform %S (xc7z020 | vu9p-slr)"
+               config.Protocol.platform)
+    in
+    let ctx = Mir.Ir.Ctx.create () in
+    let m = Pipeline.compile_c ctx src in
+    Jobs.start t.registry job;
+    (* The shared, disk-warmed caches: merging semantics in [Dse.run] keep
+       the frontier bit-identical to a cold in-process run. *)
+    let cache = Store.cache_for t.store config.Protocol.platform in
+    let memos = Store.memos t.store in
+    Obs.Clock.time_s (fun () ->
+        Dse.run ~samples:config.Protocol.samples
+          ~iterations:config.Protocol.iterations ~seed:config.Protocol.seed
+          ~symbolic:config.Protocol.symbolic ~cache ~memos ~pool:t.pool
+          ~batch_wrap:(fun f -> Scheduler.with_turn t.sched f)
+          ~on_frontier:(fun frontier explored ->
+            Jobs.progress t.registry job ~explored
+              ~frontier_size:(List.length frontier);
+            send (Protocol.frontier_update ~job_id:job.Jobs.id ~explored frontier))
+          ctx m ~top ~platform)
+  with
+  | r, wall_s ->
+      Jobs.finish t.registry job;
+      send
+        (Protocol.search_result ~job_id:job.Jobs.id ~explored:r.Dse.explored
+           ~wall_s r)
+  | exception e ->
+      let msg = Printexc.to_string e in
+      Jobs.fail t.registry job msg;
+      (try send (Protocol.error msg) with _ -> ())
+
+let handle_conn t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let out_lock = Mutex.create () in
+  let send j =
+    Mutex.lock out_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock out_lock)
+      (fun () ->
+        output_string oc (Json.to_string j);
+        output_char oc '\n';
+        flush oc)
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line when String.trim line = "" -> loop ()
+    | line -> (
+        match Protocol.request_of_line line with
+        | Error msg ->
+            send (Protocol.error msg);
+            loop ()
+        | Ok (Protocol.Search { design; config }) ->
+            run_search t send design config;
+            loop ()
+        | Ok Protocol.Status ->
+            send (status_json t);
+            loop ()
+        | Ok Protocol.Ping ->
+            send Protocol.pong;
+            loop ()
+        | Ok Protocol.Checkpoint ->
+            let records = Store.save t.store in
+            send (Protocol.resp "checkpointed" [ ("records", Json.Int records) ]);
+            loop ()
+        | Ok Protocol.Shutdown ->
+            send (Protocol.resp "stopping" []);
+            stop t)
+  in
+  (try loop () with _ -> ());
+  (* [ic] owns the descriptor; closing it closes [oc]'s fd too. *)
+  try close_in ic with Sys_error _ -> ()
+
+(** Bind the socket and serve until {!stop} (or a [shutdown] request). On
+    the way out: running searches drain (bounded wait), the store is
+    checkpointed, the worker pool is shut down, and the socket file is
+    removed. Idle connection threads are abandoned — they die with the
+    process. *)
+let run t =
+  if Sys.file_exists t.socket_path then Unix.unlink t.socket_path;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX t.socket_path);
+  Unix.listen fd 16;
+  Logs.app (fun k ->
+      k "scalehls-serve: listening on %s (%d worker%s)" t.socket_path
+        (Parpool.jobs t.pool)
+        (if Parpool.jobs t.pool = 1 then "" else "s"));
+  let last_ckpt = ref (Obs.Clock.now_ns ()) in
+  while not (Atomic.get t.stop_flag) do
+    (match Unix.select [ fd ] [] [] 0.25 with
+    | [ _ ], _, _ ->
+        let conn, _ = Unix.accept fd in
+        ignore (Thread.create (fun () -> handle_conn t conn) ())
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    if
+      t.checkpoint_every > 0.
+      && Obs.Clock.since_s !last_ckpt >= t.checkpoint_every
+    then begin
+      ignore (Store.save t.store);
+      last_ckpt := Obs.Clock.now_ns ()
+    end
+  done;
+  Unix.close fd;
+  (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ());
+  (* Bounded drain: let running searches finish so their results reach both
+     their clients and the checkpoint. *)
+  let deadline = Obs.Clock.now_ns () in
+  let rec drain () =
+    let queued, running, _, _ = Jobs.counts t.registry in
+    if queued + running > 0 && Obs.Clock.since_s deadline < 30. then begin
+      Thread.delay 0.1;
+      drain ()
+    end
+  in
+  drain ();
+  let records = Store.save t.store in
+  Logs.app (fun k -> k "scalehls-serve: checkpointed %d records, bye" records);
+  Parpool.shutdown t.pool

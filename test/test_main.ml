@@ -14,4 +14,5 @@ let () =
       Test_qor_ml.suite;
       Test_fuzz.suite;
       Test_obs.suite;
+      Test_serve.suite;
     ]
