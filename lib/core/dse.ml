@@ -1110,7 +1110,11 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
         match Hashtbl.find_opt modules b.point with
         | Some m' -> m'
         | None -> (
-            (* unreachable in practice: frontier modules are retained *)
+            (* Expected whenever the best point merged from a shared/warm
+               cache: [`Cached] merges carry no transformed module, so a
+               fully warm replay pays exactly one [eval_one] here to
+               rebuild it. With only fresh evaluations this is unreachable
+               — frontier modules are retained by [prune_modules]. *)
             match eval_one b.point with Some (_, m') -> m' | None -> m))
     | None -> m
   in

@@ -72,9 +72,28 @@ let create ?(jobs = 1) () =
       created_ns = Obs.Clock.now_ns ();
     }
   in
-  if jobs > 1 then
-    pool.workers <-
-      Array.init jobs (fun i -> Domain.spawn (fun () -> worker_loop pool i));
+  if jobs > 1 then begin
+    (* Spawn workers with SIGINT/SIGTERM blocked (signal masks are
+       inherited): an idle worker parked in [Condition.wait] never reaches
+       a poll point, so a process-directed signal the kernel happens to
+       hand to it can sit recorded with its OCaml handler never running —
+       observed as a dropped Ctrl-C/SIGTERM. Blocking the pair here makes
+       the kernel deliver to a thread that does poll (the caller, restored
+       below, or a connection/select loop). *)
+    let blocked = [ Sys.sigint; Sys.sigterm ] in
+    let prev =
+      try Some (Unix.sigprocmask Unix.SIG_BLOCK blocked)
+      with Invalid_argument _ | Unix.Unix_error _ -> None
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        match prev with
+        | Some mask -> ignore (Unix.sigprocmask Unix.SIG_SETMASK mask)
+        | None -> ())
+      (fun () ->
+        pool.workers <-
+          Array.init jobs (fun i -> Domain.spawn (fun () -> worker_loop pool i)))
+  end;
   pool
 
 (** Evaluate [f] over [xs], in parallel on the pool's workers. Results come

@@ -183,6 +183,12 @@ let handle_conn t fd =
     removed. Idle connection threads are abandoned — they die with the
     process. *)
 let run t =
+  (* A client that disconnects mid-stream (Ctrl-C on [--remote]) must not
+     take the daemon down: with SIGPIPE ignored, the failed write surfaces
+     as EPIPE ([Sys_error]/[Unix_error]), which [run_search]/[handle_conn]
+     already treat as end-of-connection. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   if Sys.file_exists t.socket_path then Unix.unlink t.socket_path;
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind fd (Unix.ADDR_UNIX t.socket_path);
@@ -194,9 +200,25 @@ let run t =
   let last_ckpt = ref (Obs.Clock.now_ns ()) in
   while not (Atomic.get t.stop_flag) do
     (match Unix.select [ fd ] [] [] 0.25 with
-    | [ _ ], _, _ ->
-        let conn, _ = Unix.accept fd in
-        ignore (Thread.create (fun () -> handle_conn t conn) ())
+    | [ _ ], _, _ -> (
+        (* Transient accept failures must not abort the daemon (that would
+           skip the drain, the final checkpoint, and the socket unlink):
+           a client can vanish between select and accept (ECONNABORTED),
+           and idle connections each pin an fd, so EMFILE/ENFILE is
+           plausible under load — log, back off briefly, keep serving. *)
+        try
+          let conn, _ = Unix.accept fd in
+          ignore (Thread.create (fun () -> handle_conn t conn) ())
+        with
+        | Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
+        | Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) as e ->
+            Logs.warn (fun k ->
+                k "scalehls-serve: accept: %s (backing off)"
+                  (Printexc.to_string e));
+            Thread.delay 0.5
+        | Unix.Unix_error _ as e ->
+            Logs.warn (fun k ->
+                k "scalehls-serve: accept: %s" (Printexc.to_string e)))
     | _ -> ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
     if

@@ -139,7 +139,9 @@ let rows t =
                 ("v", Codec.evaluated_opt_to_json v);
               ])
           (List.sort compare (Eval_cache.bindings cache)))
-      (List.sort compare caches)
+      (* Sort on the platform key only: [Eval_cache.t] holds a [Mutex.t],
+         which polymorphic compare would reject if it ever reached it. *)
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) caches)
   in
   let bands =
     List.map
