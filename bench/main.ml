@@ -402,6 +402,99 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
     (100. *. warm_hit_rate) warm_frontier_match;
   if not warm_frontier_match then
     Fmt.epr "WARNING: warm-store DSE diverged from the cold baseline@.";
+  (* Sample-efficiency arm: exhaustive vs surrogate over the identical seed
+     and budget, measuring the frontier-hypervolume trajectory against the
+     exact-evaluation count. The headline metric: how many exact evaluations
+     the surrogate needs to reach 95% of the exhaustive run's final
+     hypervolume (CI gates it at <= 60% of the exhaustive eval count, see
+     BASELINE_dse.json). *)
+  let top = Models.Polybench.name kernel in
+  let base_latency =
+    let ctx = Ir.Ctx.create () in
+    let m = Pipeline.compile_c ctx (Models.Polybench.source kernel ~n:size) in
+    (Vhls.Synth.synthesize m ~top).Vhls.Synth.latency
+  in
+  let ref_latency = 2 * base_latency and ref_area = P.xc7z020.P.dsp in
+  let traj_run strategy =
+    let ctx = Ir.Ctx.create () in
+    let m = Pipeline.compile_c ctx (Models.Polybench.source kernel ~n:size) in
+    let traj = ref [] in
+    let r =
+      Dse.run ~samples ~iterations ~seed:42 ~strategy
+        ~on_frontier:(fun front explored ->
+          let hv = Dse.log_hypervolume ~ref_latency ~ref_area front in
+          traj := (explored, hv) :: !traj)
+        ctx m ~top ~platform:P.xc7z020
+    in
+    (r, List.rev !traj)
+  in
+  let re, traj_e = traj_run Dse.exhaustive in
+  let rs, traj_s = traj_run (Qor_ml.surrogate ()) in
+  let final_hv traj = match List.rev traj with (_, hv) :: _ -> hv | [] -> 0. in
+  let hv_e = final_hv traj_e and hv_s = final_hv traj_s in
+  let evals_to threshold traj =
+    let rec go = function
+      | [] -> None
+      | (explored, hv) :: rest -> if hv >= threshold then Some explored else go rest
+    in
+    go traj
+  in
+  let target_hv = 0.95 *. hv_e in
+  let e95_e = evals_to target_hv traj_e and e95_s = evals_to target_hv traj_s in
+  let hv_ratio = hv_s /. Float.max 1e-9 hv_e in
+  let evals_ratio =
+    match e95_s with
+    | Some n -> float_of_int n /. float_of_int (max 1 re.Dse.explored)
+    | None -> infinity
+  in
+  let pp_opt = function Some n -> string_of_int n | None -> "null" in
+  Fmt.pr "strategy  : exhaustive %d evals (hv %.1f, 95%% at %s evals) | surrogate %d evals (hv %.1f, 95%% at %s evals)@."
+    re.Dse.explored hv_e (pp_opt e95_e) rs.Dse.explored hv_s (pp_opt e95_s);
+  Fmt.pr "efficiency: surrogate reaches 95%% of exhaustive hypervolume with %.0f%% of its exact evaluations (hv ratio %.3f)@."
+    (100. *. evals_ratio) hv_ratio;
+  let traj_json traj =
+    "["
+    ^ String.concat ", "
+        (List.map (fun (e, hv) -> Printf.sprintf "[%d, %.3f]" e hv) traj)
+    ^ "]"
+  in
+  let counters_json cs =
+    "{ "
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) cs)
+    ^ " }"
+  in
+  let strategy_efficiency_json =
+    Printf.sprintf
+      {|{
+    "hv_ref_latency": %d,
+    "hv_ref_area": %d,
+    "exhaustive": { "evals": %d, "final_hv": %.3f, "evals_to_95pct_hv": %s,
+                    "trajectory": %s },
+    "surrogate": { "evals": %d, "final_hv": %.3f, "evals_to_95pct_hv": %s,
+                   "trajectory": %s,
+                   "counters": %s },
+    "hv_ratio": %.4f,
+    "evals_ratio": %s
+  }|}
+      ref_latency ref_area re.Dse.explored hv_e (pp_opt e95_e)
+      (traj_json traj_e) rs.Dse.explored hv_s (pp_opt e95_s) (traj_json traj_s)
+      (counters_json rs.Dse.stats.Dse.strategy_counters)
+      hv_ratio
+      (if Float.is_finite evals_ratio then Printf.sprintf "%.4f" evals_ratio
+       else "null")
+  in
+  (* The parallel block is [null] when the arm was skipped (single core):
+     publishing a copy of the sequential numbers would let downstream gates
+     silently compare the kernel against itself. *)
+  let parallel_json =
+    if parallel_skipped then ("null", "null")
+    else
+      ( Printf.sprintf
+          {|{ "jobs": %d, "wall_s": %.3f, "points": %d, "points_per_sec": %.2f }|}
+          jobs_eff tn rn.Dse.explored (pps rn tn),
+        Printf.sprintf "%.3f" (t1 /. Float.max 1e-9 tn) )
+  in
   let profile_json =
     String.concat ", "
       (List.map
@@ -418,9 +511,9 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
   "seed": 42,
   "cores": %d,
   "sequential": { "jobs": 1, "wall_s": %.3f, "points": %d, "points_per_sec": %.2f },
-  "parallel": { "jobs": %d, "wall_s": %.3f, "points": %d, "points_per_sec": %.2f },
+  "parallel": %s,
   "parallel_skipped": %b,
-  "speedup": %.3f,
+  "speedup": %s,
   "frontier_match": %b,
   "cache": { "pre_hits": %d, "pre_misses": %d, "eval_hits": %d, "eval_misses": %d,
              "eval_hit_rate": %.4f, "est_memo_hits": %d, "est_memo_misses": %d,
@@ -445,14 +538,14 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
     "warm_hit_rate": %.4f,
     "warm_frontier_match": %b
   },
+  "strategy_efficiency": %s,
   "profile_s": { %s }
 }
 |}
     (Models.Polybench.name kernel)
-    size samples iterations cores t1 r1.Dse.explored (pps r1 t1) jobs_eff tn
-    rn.Dse.explored (pps rn tn) parallel_skipped
-    (if parallel_skipped then 1.0 else t1 /. Float.max 1e-9 tn)
-    frontier_match rn.Dse.stats.Dse.pre_hits rn.Dse.stats.Dse.pre_misses
+    size samples iterations cores t1 r1.Dse.explored (pps r1 t1)
+    (fst parallel_json) parallel_skipped (snd parallel_json) frontier_match
+    rn.Dse.stats.Dse.pre_hits rn.Dse.stats.Dse.pre_misses
     rn.Dse.stats.Dse.cache_hits rn.Dse.stats.Dse.cache_misses
     (Dse.hit_rate rn.Dse.stats.Dse.cache_hits rn.Dse.stats.Dse.cache_misses)
     rn.Dse.stats.Dse.est_memo_hits rn.Dse.stats.Dse.est_memo_misses
@@ -464,7 +557,7 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
     (tc /. Float.max 1e-9 tw)
     (pps rc tc) (pps rw tw) rw.Dse.stats.Dse.cache_hits
     rw.Dse.stats.Dse.cache_misses warm_hit_rate warm_frontier_match
-    profile_json;
+    strategy_efficiency_json profile_json;
   close_out oc;
   Fmt.pr "@.wrote BENCH_dse.json@."
 
@@ -542,6 +635,12 @@ let () =
   if all || has "fig7" then fig7 ();
   if all || has "estimator" then estimator_validation ();
   if all || has "dse_ablation" then dse_ablation ~budget ();
-  if all || has "dse_bench" then dse_bench ~size:(min size 64) ~budget ();
+  (* dse_bench: an explicit --jobs N selects the parallel arm's worker count;
+     without the flag it defaults to one worker per core (and skips the
+     parallel arm on single-core hosts). *)
+  if all || has "dse_bench" then
+    dse_bench
+      ~jobs:(if has "--jobs" then jobs else 0)
+      ~size:(min size 64) ~budget ();
   if all || has "micro" then micro ();
   Fmt.pr "@.total bench wall time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -67,7 +67,7 @@ let print_remote_result j =
   0
 
 let run_remote socket input kernel size top platform samples iterations seed
-    symbolic =
+    symbolic strategy =
   let module Json = Obs.Json in
   let design =
     match (input, kernel) with
@@ -84,7 +84,7 @@ let run_remote socket input kernel size top platform samples iterations seed
         exit 2
   in
   let config =
-    { Serve.Protocol.samples; iterations; seed; symbolic; platform }
+    { Serve.Protocol.samples; iterations; seed; symbolic; platform; strategy }
   in
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.connect fd (Unix.ADDR_UNIX socket)
@@ -130,12 +130,12 @@ let run_remote socket input kernel size top platform samples iterations seed
   Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ()) loop
 
 let run input kernel size top platform samples iterations seed jobs symbolic
-    profile emit remote trace metrics =
+    strategy profile emit remote trace metrics =
   Obs_flags.with_obs ~trace ~metrics @@ fun () ->
   match remote with
   | Some socket ->
       run_remote socket input kernel size top platform samples iterations seed
-        symbolic
+        symbolic strategy
   | None ->
   let ctx = Ir.Ctx.create () in
   let src, top =
@@ -155,10 +155,19 @@ let run input kernel size top platform samples iterations seed jobs symbolic
         exit 2
   in
   let platform = platform_of_name platform in
+  let strategy_impl =
+    match Qor_ml.strategy_of_name strategy with
+    | Some s -> s
+    | None ->
+        Fmt.epr "unknown strategy %s (%s)@." strategy
+          (String.concat " | " Qor_ml.strategy_names);
+        exit 2
+  in
   let m = Pipeline.compile_c ctx src in
   let r, dt =
     Obs.Clock.time_s (fun () ->
-        Dse.run ~samples ~iterations ~seed ~jobs ~symbolic ctx m ~top ~platform)
+        Dse.run ~samples ~iterations ~seed ~jobs ~symbolic
+          ~strategy:strategy_impl ctx m ~top ~platform)
   in
   Fmt.pr "explored %d design points in %.2fs (%.1f points/s, %d worker%s)@."
     r.Dse.explored dt
@@ -167,6 +176,11 @@ let run input kernel size top platform samples iterations seed jobs symbolic
     (if r.Dse.stats.Dse.jobs = 1 then "" else "s");
   if profile then begin
     let s = r.Dse.stats in
+    Fmt.pr "strategy   : %s (%s)@." s.Dse.strategy
+      (String.concat ", "
+         (List.map
+            (fun (k, v) -> Printf.sprintf "%s %d" k v)
+            s.Dse.strategy_counters));
     Fmt.pr "evaluation : %d symbolic, %d fallback, %d estimator-memo hit%s@."
       s.Dse.symbolic_points s.Dse.fallback_points s.Dse.est_memo_hits
       (if s.Dse.est_memo_hits = 1 then "" else "s");
@@ -253,6 +267,18 @@ let symbolic =
              paths produce identical results; this flag exists as an escape \
              hatch and for benchmarking the speedup.")
 
+let strategy =
+  Arg.(
+    value & opt string "exhaustive"
+    & info [ "strategy" ] ~docv:"NAME"
+        ~doc:
+          "Search strategy: $(b,exhaustive) (the paper's sample + \
+           Pareto-neighbor traversal) or $(b,surrogate) (an online \
+           recursive-least-squares model ranks each round's candidate pool \
+           and only the predicted-frontier shortlist is evaluated exactly — \
+           same frontier quality for a fraction of the exact evaluations). \
+           Both are deterministic for a given seed, local or $(b,--remote).")
+
 let profile =
   Arg.(
     value & flag
@@ -282,7 +308,7 @@ let cmd =
   Cmd.v (Cmd.info "scalehls-dse" ~doc)
     Term.(
       const run $ input $ kernel $ size $ top $ platform $ samples $ iterations
-      $ seed $ jobs $ symbolic $ profile $ emit $ remote $ Obs_flags.trace
-      $ Obs_flags.metrics)
+      $ seed $ jobs $ symbolic $ strategy $ profile $ emit $ remote
+      $ Obs_flags.trace $ Obs_flags.metrics)
 
 let () = exit (Cmd.eval' cmd)

@@ -72,6 +72,10 @@ type stats = {
   stage_seconds : (string * float) list;
       (** cumulative per-stage wall time across all evaluations:
           transform / unroll / cleanup / partition / estimate / pareto *)
+  strategy : string;  (** name of the search strategy the run used *)
+  strategy_counters : (string * int) list;
+      (** strategy-specific counters, e.g. the surrogate's
+          proposed/shortlisted/pruned_by_model tallies *)
 }
 
 (* ---- Per-evaluation instrumentation --------------------------------------- *)
@@ -383,6 +387,10 @@ type space = {
   tile_options : int list list;  (** per permuted-band loop *)
   ii_options : int list;
   max_unroll : int;  (** cap on the product of tile sizes *)
+  trips : int list;
+      (** constant trip counts of the main-band loops, in original order
+          ([0] when unknown) — cheap per-point feature material for
+          surrogate models *)
 }
 
 let space_size s =
@@ -418,6 +426,7 @@ let build_space ?(max_unroll = 256) ?(max_ii = 8) ctx m ~top =
         tile_options = [];
         ii_options = [ 1 ];
         max_unroll;
+        trips = [];
       }
   | Some band ->
       let n = List.length band in
@@ -445,6 +454,10 @@ let build_space ?(max_unroll = 256) ?(max_ii = 8) ctx m ~top =
         tile_options;
         ii_options = List.init max_ii (fun i -> i + 1);
         max_unroll;
+        trips =
+          List.map
+            (fun l -> Option.value ~default:0 (Affine_d.const_trip_count l))
+            band;
       }
 
 (* ---- Point canonicalization and cache keys ------------------------------------ *)
@@ -718,6 +731,209 @@ let neighbors (s : space) (pt : point) : point list =
   in
   ii_neighbors @ tile_neighbors @ perm_neighbors @ flag_neighbors
 
+(* ---- Frontier quality ------------------------------------------------------------------ *)
+
+(** 2-D hypervolume of a feasible Pareto frontier w.r.t. a reference point,
+    in (log1p latency) × (linear DSP) space — both minimized. The log scale
+    weighs each latency decade equally, so the metric rewards covering the
+    whole latency–area tradeoff rather than just the high-latency tail.
+    [front] must be latency-increasing / area-decreasing (what
+    {!pareto_frontier} returns); points at or beyond the reference
+    contribute nothing. *)
+let log_hypervolume ~ref_latency ~ref_area (front : evaluated list) : float =
+  let lg v = log1p (float_of_int v) in
+  let rl = lg ref_latency and ra = float_of_int ref_area in
+  let rec go acc = function
+    | [] -> acc
+    | p :: rest ->
+        let l = lg p.estimate.Estimator.latency
+        and a = float_of_int (area_of p.estimate) in
+        if l >= rl || a >= ra then go acc rest
+        else
+          let next =
+            match rest with
+            | q :: _ -> Float.min rl (lg q.estimate.Estimator.latency)
+            | [] -> rl
+          in
+          go (acc +. ((next -. l) *. (ra -. a))) rest
+  in
+  go 0. front
+
+(* ---- Search strategies ------------------------------------------------------------------ *)
+
+(** The pluggable search-strategy interface. The engine stays
+    batch-synchronous and owns everything that must not depend on the
+    strategy: budget accounting (batches are truncated to the remaining
+    budget and charged by their post-truncation length), Pareto maintenance,
+    evaluation-cache dedup, and the warm-cache merge discipline — a strategy
+    only decides {e which} points to propose next and learns from every
+    merged result via [observe]. Because cached (warm-store) results merge at
+    their proposal position in submission order, [observe] sees the exact
+    same (point, result) sequence warm or cold, so a learning strategy
+    replays deterministically through {!Serve}'s persistent store. *)
+module Strategy = struct
+  (** The engine-side view a strategy searches against. [seen] is "already
+      proposed this run" (canonical-key identity, shared caches included);
+      [canon] canonicalizes a proposal the way the evaluation cache will;
+      [evaluated] returns all merged results so far, newest first. *)
+  type env = {
+    space : space;
+    rng : Random.State.t;  (** the run's seeded RNG — all draws go here *)
+    samples : int;  (** seed-phase random sample count *)
+    heuristic_seeds : bool;
+    platform : Platform.t;
+    seen : point -> bool;
+    canon : point -> point;
+    evaluated : unit -> evaluated list;
+    explored : unit -> int;
+  }
+
+  type instance = {
+    name : string;
+    seed_batch : unit -> point list;  (** the initial evaluation batch *)
+    propose : frontier:evaluated list -> remaining:int -> point list;
+        (** next batch given the current feasible frontier and the remaining
+            evaluation budget; [[]] terminates the search *)
+    observe : (point * evaluated option) list -> unit;
+        (** every merged batch, in merge order: (canonical point, result) —
+            [None] means inapplicable. Fired for the seed batch too. *)
+    counters : unit -> (string * int) list;
+        (** strategy-specific counters for stats/metrics export *)
+  }
+
+  type t = env -> instance
+end
+
+(** The engine's standard seed batch: the identity/no-op point, the greedy
+    heuristic anchors (per legal permutation, budget-filling innermost-first
+    tiles at an II ladder), then [env.samples] random draws. Shared by every
+    strategy so runs differing only in strategy start from the same
+    evidence. *)
+let seed_points (env : Strategy.env) : point list =
+  let s = env.Strategy.space in
+  let n_band = List.length s.tile_options in
+  let base_pt =
+    {
+      lp = List.hd s.lp_options;
+      rvb = List.hd s.rvb_options;
+      perm = (match s.perms with p :: _ -> p | [] -> []);
+      tiles = List.init n_band (fun _ -> 1);
+      target_ii = 1;
+    }
+  in
+  (* Heuristic seeds: for each legal permutation, greedy tile sizes that
+     fill the unroll budget innermost-first (the paper's "intra-tile loops
+     absorbed innermost and fully unrolled" shape) at a ladder of IIs and
+     two unroll budgets. These anchor the frontier so the neighbor traversal
+     starts from sensible designs even with few random samples. *)
+  let tile_options = Array.of_list s.tile_options in
+  let greedy_tiles budget =
+    let n = Array.length tile_options in
+    let tiles = Array.make n 1 in
+    let remaining = ref budget in
+    for d = n - 1 downto 0 do
+      let opts = List.filter (fun t -> t <= !remaining) tile_options.(d) in
+      let t = List.fold_left max 1 opts in
+      tiles.(d) <- t;
+      remaining := !remaining / max 1 t
+    done;
+    Array.to_list tiles
+  in
+  let lp_on = List.mem true s.lp_options
+  and rvb_on = List.mem true s.rvb_options in
+  let seed_perms =
+    if env.Strategy.heuristic_seeds then List.filteri (fun i _ -> i < 4) s.perms
+    else []
+  in
+  let heur_pts =
+    List.concat_map
+      (fun perm ->
+        List.concat_map
+          (fun budget ->
+            List.map
+              (fun target_ii ->
+                { lp = lp_on; rvb = rvb_on; perm; tiles = greedy_tiles budget; target_ii })
+              [ 1; 8 ])
+          [ s.max_unroll; max 1 (s.max_unroll / 4) ])
+      seed_perms
+  in
+  (* Random draws must happen in a defined order (List.init's application
+     order is unspecified). *)
+  let rng = env.Strategy.rng in
+  let rec draw_samples k =
+    if k = 0 then [] else random_point rng s :: draw_samples (k - 1)
+  in
+  (base_pt :: heur_pts) @ draw_samples env.Strategy.samples
+
+(** The paper's sample + Pareto-neighbor traversal (§5.5.2), verbatim: each
+    round picks a random frontier point (or, one round in four when one
+    exists, the fastest infeasible point) and proposes all of its unexplored
+    closest neighbors; falls back to a fresh random sample when the pick has
+    none, and stops only once the whole space is explored. Every RNG draw
+    matches the pre-strategy-interface engine exactly — a seeded run is
+    bit-identical to the historical behavior. *)
+let exhaustive : Strategy.t =
+ fun env ->
+  let s = env.Strategy.space in
+  let rng = env.Strategy.rng in
+  let proposed = ref 0 in
+  let count ps =
+    proposed := !proposed + List.length ps;
+    ps
+  in
+  let propose ~frontier ~remaining:_ =
+    match frontier with
+    | [] ->
+        (* nothing feasible yet: keep sampling *)
+        count [ random_point rng s ]
+    | _ ->
+        (* Traverse neighbors of a random Pareto point; occasionally also of
+           the fastest infeasible point (raising its II or shrinking its
+           tiles walks it back inside the resource budget). *)
+        let p =
+          let infeasible_best =
+            List.fold_left
+              (fun acc e ->
+                if e.feasible then acc
+                else
+                  match acc with
+                  | Some b
+                    when b.estimate.Estimator.latency
+                         <= e.estimate.Estimator.latency ->
+                      acc
+                  | _ -> Some e)
+              None
+              (env.Strategy.evaluated ())
+          in
+          match infeasible_best with
+          | Some b when Random.State.int rng 4 = 0 -> b
+          | _ ->
+              let fr = Array.of_list frontier in
+              fr.(Random.State.int rng (Array.length fr))
+        in
+        let ns =
+          (* Unexplored means "not seen by this run": entries a shared cache
+             holds from other runs still merge (warm) through the engine,
+             keeping the traversal identical to a cold run. *)
+          List.filter (fun n -> not (env.Strategy.seen n)) (neighbors s p.point)
+        in
+        (match ns with
+        | [] ->
+            (* no unexplored neighbor of this point; try a random sample to
+               avoid premature termination, stop if space is exhausted *)
+            if env.Strategy.explored () < space_size s then
+              count [ random_point rng s ]
+            else []
+        | _ -> count ns)
+  in
+  {
+    Strategy.name = "exhaustive";
+    seed_batch = (fun () -> count (seed_points env));
+    propose;
+    observe = (fun _ -> ());
+    counters = (fun () -> [ ("proposed", !proposed) ]);
+  }
+
 (* ---- Metrics export ------------------------------------------------------------------ *)
 
 let hit_rate hits misses =
@@ -742,6 +958,9 @@ let record_metrics (s : stats) explored =
   bump "tf_memo.misses" s.tf_misses;
   bump "points.symbolic" s.symbolic_points;
   bump "points.fallback" s.fallback_points;
+  List.iter
+    (fun (name, n) -> bump ("strategy." ^ s.strategy ^ "." ^ name) n)
+    s.strategy_counters;
   List.iter
     (fun (reason, n) -> bump ("fallback_reason." ^ reason) n)
     s.fallback_reasons;
@@ -785,7 +1004,7 @@ let record_metrics (s : stats) explored =
     the end) — the streaming hook. *)
 let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
     ?(max_ii = 8) ?(heuristic_seeds = true) ?(jobs = 1) ?(symbolic = true)
-    ?cache:cache_opt ?memos:memos_opt ?pool:pool_opt
+    ?(strategy = exhaustive) ?cache:cache_opt ?memos:memos_opt ?pool:pool_opt
     ?(batch_wrap = fun f -> f ()) ?on_frontier ctx m ~top ~platform : result =
   let jobs =
     let cores = Domain.recommended_domain_count () in
@@ -913,13 +1132,31 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
     List.iter (Hashtbl.remove modules) drop
   in
   let run_on_pool pool =
+  (* The strategy searches through this window onto the engine's state;
+     every mutable piece it sees ([seen], [evaluated], [explored]) is
+     coordinator-owned and only updated between batches. *)
+  let strat =
+    strategy
+      {
+        Strategy.space = s;
+        rng;
+        samples;
+        heuristic_seeds;
+        platform;
+        seen = (fun pt -> Hashtbl.mem seen (fst (key_of pt)));
+        canon = (fun pt -> snd (key_of pt));
+        evaluated = (fun () -> !evaluated);
+        explored = (fun () -> !explored);
+      }
+  in
   (* Evaluate a batch of proposals: dedup within the batch, skip points this
      run already merged (counted as cache hits), evaluate the rest on the
      pool, and merge results in submission order — the merge order, not
      worker scheduling, defines the engine's state. A point whose result is
      already in a shared cache but not yet seen this run merges at its
      proposal position exactly like a fresh evaluation, so warm runs replay
-     the cold run's state evolution bit-for-bit. *)
+     the cold run's state evolution bit-for-bit — and the strategy's
+     [observe] sees the identical (point, result) sequence either way. *)
   let eval_batch pts =
     let in_batch = Hashtbl.create 16 in
     let items =
@@ -932,7 +1169,7 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
             match Eval_cache.find_opt cache key with
             | Some res when not (Hashtbl.mem seen key) ->
                 Hashtbl.replace seen key ();
-                Some (`Cached res)
+                Some (`Cached (c, res))
             | Some _ -> None (* re-proposal within this run *)
             | None ->
                 Hashtbl.replace seen key ();
@@ -947,14 +1184,16 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
       if fresh = [] then []
       else batch_wrap (fun () -> Parpool.map pool (fun (_, c) -> eval_one c) fresh)
     in
+    let obs = ref [] in
     let rec merge items results =
       match (items, results) with
       | [], [] -> ()
-      | `Cached res :: items', _ ->
+      | `Cached (c, res) :: items', _ ->
           incr explored;
           (match res with
           | Some ev -> evaluated := ev :: !evaluated
           | None -> ());
+          obs := (c, res) :: !obs;
           merge items' results
       | `Fresh (key, c) :: items', res :: results' ->
           Eval_cache.add cache key (Option.map fst res);
@@ -964,65 +1203,21 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
               evaluated := ev :: !evaluated;
               if ev.feasible then Hashtbl.replace modules c m'
           | None -> ());
+          obs := (c, Option.map fst res) :: !obs;
           merge items' results'
       | `Fresh _ :: _, [] | [], _ :: _ -> assert false
     in
-    merge items results
+    merge items results;
+    strat.Strategy.observe (List.rev !obs)
   in
-  (* Step 1: seed with the identity/no-op point plus promising defaults, then
-     random samples — all drawn up front on the coordinator and evaluated as
-     one parallel batch. *)
-  let n_band = List.length s.tile_options in
-  let base_pt =
-    {
-      lp = List.hd s.lp_options;
-      rvb = List.hd s.rvb_options;
-      perm = (match s.perms with p :: _ -> p | [] -> []);
-      tiles = List.init n_band (fun _ -> 1);
-      target_ii = 1;
-    }
-  in
-  (* Heuristic seeds: for each legal permutation, greedy tile sizes that
-     fill the unroll budget innermost-first (the paper's "intra-tile loops
-     absorbed innermost and fully unrolled" shape) at a ladder of IIs and
-     two unroll budgets. These anchor the frontier so the neighbor traversal
-     starts from sensible designs even with few random samples. *)
-  let tile_options = Array.of_list s.tile_options in
-  let greedy_tiles budget =
-    let n = Array.length tile_options in
-    let tiles = Array.make n 1 in
-    let remaining = ref budget in
-    for d = n - 1 downto 0 do
-      let opts = List.filter (fun t -> t <= !remaining) tile_options.(d) in
-      let t = List.fold_left max 1 opts in
-      tiles.(d) <- t;
-      remaining := !remaining / max 1 t
-    done;
-    Array.to_list tiles
-  in
-  let lp_on = List.mem true s.lp_options and rvb_on = List.mem true s.rvb_options in
-  let seed_perms =
-    if heuristic_seeds then List.filteri (fun i _ -> i < 4) s.perms else []
-  in
-  let heur_pts =
-    List.concat_map
-      (fun perm ->
-        List.concat_map
-          (fun budget ->
-            List.map
-              (fun target_ii ->
-                { lp = lp_on; rvb = rvb_on; perm; tiles = greedy_tiles budget; target_ii })
-              [ 1; 8 ])
-          [ max_unroll; max 1 (max_unroll / 4) ])
-      seed_perms
-  in
-  (* Random draws must happen in a defined order (List.init's application
-     order is unspecified). *)
-  let rec draw_samples k = if k = 0 then [] else random_point rng s :: draw_samples (k - 1) in
-  eval_batch ((base_pt :: heur_pts) @ draw_samples samples);
-  (* Steps 2-4: neighbor traversal, one frontier point per round, all of its
-     unexplored neighbors as one batch. [iterations] budgets the number of
-     traversal evaluations. *)
+  (* Step 1: the strategy's seed batch (by default the identity/no-op point
+     plus heuristic anchors plus random samples, {!seed_points}) — drawn up
+     front on the coordinator and evaluated as one parallel batch. *)
+  eval_batch (strat.Strategy.seed_batch ());
+  (* Steps 2-4: strategy-driven traversal. Each round the strategy proposes
+     the next batch against the current frontier; the engine truncates it to
+     the remaining budget, evaluates, merges, and feeds every result back
+     through [observe]. [iterations] budgets the post-seed evaluations. *)
   let used = ref 0 in
   let continue_ = ref true in
   (* Frontier extraction is coordinator-only and runs between batches, so
@@ -1047,54 +1242,12 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
     let frontier = pareto_now () in
     sample_frontier frontier;
     prune_modules frontier;
-    match frontier with
-    | [] ->
-        (* nothing feasible yet: keep sampling *)
-        eval_batch [ random_point rng s ];
-        incr used
-    | _ ->
-        (* Traverse neighbors of a random Pareto point; occasionally also of
-           the fastest infeasible point (raising its II or shrinking its
-           tiles walks it back inside the resource budget). *)
-        let p =
-          let infeasible_best =
-            List.fold_left
-              (fun acc e ->
-                if e.feasible then acc
-                else
-                  match acc with
-                  | Some b when b.estimate.Estimator.latency <= e.estimate.Estimator.latency -> acc
-                  | _ -> Some e)
-              None !evaluated
-          in
-          match infeasible_best with
-          | Some b when Random.State.int rng 4 = 0 -> b
-          | _ ->
-              let fr = Array.of_list frontier in
-              fr.(Random.State.int rng (Array.length fr))
-        in
-        let ns =
-          (* Unexplored means "not seen by this run": entries a shared cache
-             holds from other runs still merge (warm) through [eval_batch],
-             keeping the traversal identical to a cold run. *)
-          List.filter
-            (fun n -> not (Hashtbl.mem seen (fst (key_of n))))
-            (neighbors s p.point)
-        in
-        (match ns with
-        | [] ->
-            (* no unexplored neighbor of this point; try a random sample to
-               avoid premature termination, stop if space is exhausted *)
-            let unexplored_exists = !explored < space_size s in
-            if unexplored_exists then begin
-              eval_batch [ random_point rng s ];
-              incr used
-            end
-            else continue_ := false
-        | _ ->
-            let batch = List.filteri (fun i _ -> i < iterations - !used) ns in
-            eval_batch batch;
-            used := !used + List.length batch)
+    match strat.Strategy.propose ~frontier ~remaining:(iterations - !used) with
+    | [] -> continue_ := false
+    | ps ->
+        let batch = List.filteri (fun i _ -> i < iterations - !used) ps in
+        eval_batch batch;
+        used := !used + List.length batch
   done;
   let frontier = pareto_now () in
   sample_frontier frontier;
@@ -1135,6 +1288,8 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
       tf_misses = Eval_cache.misses tf_memo;
       worker_busy = Parpool.busy_fractions pool;
       stage_seconds = instr_stages instr;
+      strategy = strat.Strategy.name;
+      strategy_counters = strat.Strategy.counters ();
     }
   in
   record_metrics stats !explored;

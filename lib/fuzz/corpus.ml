@@ -24,6 +24,7 @@ type oracle_kind =
   | Dse_jobs  (** -j N vs -j 1 determinism *)
   | Dse_symbolic  (** symbolic vs materialized point evaluation *)
   | Dse_incremental  (** warm band-delta estimates vs cold full re-estimation *)
+  | Dse_strategy  (** surrogate frontier eps-covers the exhaustive frontier *)
 
 let oracle_kind_to_string = function
   | Interp_diff -> "interp-diff"
@@ -32,6 +33,7 @@ let oracle_kind_to_string = function
   | Dse_jobs -> "dse-jobs"
   | Dse_symbolic -> "dse-symbolic"
   | Dse_incremental -> "dse-incremental"
+  | Dse_strategy -> "dse-strategy"
 
 let oracle_kind_of_string = function
   | "interp-diff" -> Some Interp_diff
@@ -40,6 +42,7 @@ let oracle_kind_of_string = function
   | "dse-jobs" -> Some Dse_jobs
   | "dse-symbolic" -> Some Dse_symbolic
   | "dse-incremental" -> Some Dse_incremental
+  | "dse-strategy" -> Some Dse_strategy
   | _ -> None
 
 type entry = {
@@ -129,3 +132,4 @@ let replay (e : entry) : Oracle.failure list =
   | Dse_jobs -> Oracle.dse_jobs_deterministic ~seed:e.seed m ~top
   | Dse_symbolic -> Oracle.dse_symbolic_equiv ~seed:e.seed m ~top
   | Dse_incremental -> Oracle.dse_incremental ~seed:e.seed m ~top
+  | Dse_strategy -> Oracle.dse_strategy_frontier_consistent ~seed:e.seed m ~top

@@ -32,6 +32,7 @@ let classify (f : Oracle.failure) : Corpus.oracle_kind =
   | "dse-jobs" -> Corpus.Dse_jobs
   | "dse-symbolic" -> Corpus.Dse_symbolic
   | "dse-incremental" -> Corpus.Dse_incremental
+  | "dse-strategy" -> Corpus.Dse_strategy
   | _ -> Corpus.Interp_diff
 
 (* Re-check predicate for the reducer, per oracle family. *)
@@ -44,7 +45,9 @@ let still_fails_for ~prog_seed ~top kind (c : Reduce.candidate) =
   | Corpus.Qor_estimator -> Oracle.qor_estimator_agrees m ~top
   | Corpus.Dse_jobs -> Oracle.dse_jobs_deterministic ~seed:prog_seed m ~top
   | Corpus.Dse_symbolic -> Oracle.dse_symbolic_equiv ~seed:prog_seed m ~top
-  | Corpus.Dse_incremental -> Oracle.dse_incremental ~seed:prog_seed m ~top)
+  | Corpus.Dse_incremental -> Oracle.dse_incremental ~seed:prog_seed m ~top
+  | Corpus.Dse_strategy ->
+      Oracle.dse_strategy_frontier_consistent ~seed:prog_seed m ~top)
   <> []
 
 let first_failure_of (c : Reduce.candidate) ~prog_seed ~top kind =
@@ -61,6 +64,9 @@ let first_failure_of (c : Reduce.candidate) ~prog_seed ~top kind =
         Oracle.dse_symbolic_equiv ~seed:prog_seed c.Reduce.module_ ~top
     | Corpus.Dse_incremental ->
         Oracle.dse_incremental ~seed:prog_seed c.Reduce.module_ ~top
+    | Corpus.Dse_strategy ->
+        Oracle.dse_strategy_frontier_consistent ~seed:prog_seed
+          c.Reduce.module_ ~top
   with
   | f :: _ -> Some f
   | [] -> None
@@ -111,10 +117,12 @@ let run ?(params = Gen.default_params) ?eps ?(dse_every = 0) ?(reduce = false)
       count_oracles 2;
       let dse =
         if dse_every > 0 && i mod dse_every = 0 then begin
-          count_oracles 3;
+          count_oracles 4;
           Oracle.dse_symbolic_equiv ~seed:prog_seed p.Gen.module_ ~top
           @ Oracle.dse_incremental ~seed:prog_seed p.Gen.module_ ~top
           @ Oracle.dse_jobs_deterministic ~seed:prog_seed p.Gen.module_ ~top
+          @ Oracle.dse_strategy_frontier_consistent ~seed:prog_seed
+              p.Gen.module_ ~top
         end
         else []
       in

@@ -289,6 +289,65 @@ let dse_incremental ?(points = 4) ~seed m ~top : failure list =
     reraise_terminated e;
     [ fail "dse-incremental" "crash: %s" (Printexc.to_string e) ]
 
+(** The surrogate strategy trades exact evaluations for model guidance, so
+    its frontier need not be bit-identical to the exhaustive one — but it
+    must not abandon tradeoff regions the exhaustive traversal reaches on
+    the same budget. The check is the multiplicative epsilon-indicator over
+    (latency, DSP): every exhaustive-frontier point must be eps-covered by
+    some surrogate-frontier point, i.e. one whose latency and DSP usage are
+    each at most (1+eps)x the exhaustive point's. An exhaustive frontier
+    with no surrogate counterpart at all (surrogate found nothing feasible)
+    fails outright. Both runs are seeded and sequential, so a failure
+    replays exactly from the program seed. *)
+let dse_strategy_frontier_consistent ?(samples = 4) ?(iterations = 6)
+    ?(eps = 0.25) ~seed m ~top : failure list =
+  try
+    let platform = Vhls.Platform.xc7z020 in
+    let run strategy =
+      Dse.run ~samples ~iterations ~seed ~strategy (Ir.Ctx.of_op m) m ~top
+        ~platform
+    in
+    let re = run Dse.exhaustive in
+    let rs = run (Qor_ml.surrogate ()) in
+    let coords (r : Dse.result) =
+      List.map
+        (fun (e : Dse.evaluated) ->
+          ( e.Dse.point,
+            float_of_int e.Dse.estimate.Estimator.latency,
+            float_of_int e.Dse.estimate.Estimator.usage.Vhls.Platform.u_dsp ))
+        r.Dse.pareto
+    in
+    let exh = coords re and sur = coords rs in
+    match (exh, sur) with
+    | [], _ -> []
+    | _ :: _, [] ->
+        [
+          fail "dse-strategy"
+            "exhaustive found a %d-point frontier, surrogate found nothing \
+             feasible"
+            (List.length exh);
+        ]
+    | _ ->
+        let covered (_, ql, qa) =
+          List.exists
+            (fun (_, pl, pa) ->
+              pl <= (1. +. eps) *. ql && pa <= (1. +. eps) *. qa)
+            sur
+        in
+        List.filter_map
+          (fun ((qp, ql, qa) as q) ->
+            if covered q then None
+            else
+              Some
+                (fail "dse-strategy"
+                   "frontier point %a (latency %.0f, dsp %.0f) has no \
+                    surrogate point within %.0f%%"
+                   Dse.pp_point qp ql qa (100. *. eps)))
+          exh
+  with e ->
+    reraise_terminated e;
+    [ fail "dse-strategy" "crash: %s" (Printexc.to_string e) ]
+
 (** A parallel DSE run must be bit-identical to the sequential one: same
     explored count, same best point, same Pareto frontier. *)
 let dse_jobs_deterministic ?(samples = 4) ?(iterations = 6) ~seed m ~top : failure list =

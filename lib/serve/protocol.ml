@@ -34,12 +34,20 @@ type config = {
   seed : int;
   symbolic : bool;
   platform : string;
+  strategy : string;  (** search strategy name: "exhaustive" | "surrogate" *)
 }
 
 (* Defaults mirror the scalehls-dse CLI (not the engine's internal
    defaults): a remote request and a local run with no flags agree. *)
 let default_config =
-  { samples = 32; iterations = 80; seed = 42; symbolic = true; platform = "xc7z020" }
+  {
+    samples = 32;
+    iterations = 80;
+    seed = 42;
+    symbolic = true;
+    platform = "xc7z020";
+    strategy = "exhaustive";
+  }
 
 type request =
   | Search of { design : design; config : config }
@@ -79,6 +87,7 @@ let config_of_json = function
         seed = int "seed" default_config.seed;
         symbolic = bool "symbolic" default_config.symbolic;
         platform = str "platform" default_config.platform;
+        strategy = str "strategy" default_config.strategy;
       }
 
 (* ---- Client-side request builders (the [scalehls-dse --remote] mode) -------- *)
@@ -97,6 +106,7 @@ let config_to_json c =
       ("seed", Json.Int c.seed);
       ("symbolic", Json.Bool c.symbolic);
       ("platform", Json.String c.platform);
+      ("strategy", Json.String c.strategy);
     ]
 
 let search_request ~design ~config =
@@ -174,5 +184,11 @@ let search_result ~job_id ~explored ~wall_s (r : Dse.result) =
             ("est_memo_misses", Json.Int s.Dse.est_memo_misses);
             ("symbolic_points", Json.Int s.Dse.symbolic_points);
             ("fallback_points", Json.Int s.Dse.fallback_points);
+            ("strategy", Json.String s.Dse.strategy);
+            ( "strategy_counters",
+              Json.Obj
+                (List.map
+                   (fun (k, v) -> (k, Json.Int v))
+                   s.Dse.strategy_counters) );
           ] );
     ]

@@ -106,6 +106,14 @@ let run_search t send (design : Protocol.design) (config : Protocol.config) =
             (Printf.sprintf "unknown platform %S (xc7z020 | vu9p-slr)"
                config.Protocol.platform)
     in
+    let strategy =
+      match Qor_ml.strategy_of_name config.Protocol.strategy with
+      | Some s -> s
+      | None ->
+          invalid_arg
+            (Printf.sprintf "unknown strategy %S (%s)" config.Protocol.strategy
+               (String.concat " | " Qor_ml.strategy_names))
+    in
     let ctx = Mir.Ir.Ctx.create () in
     let m = Pipeline.compile_c ctx src in
     Jobs.start t.registry job;
@@ -116,7 +124,7 @@ let run_search t send (design : Protocol.design) (config : Protocol.config) =
     Obs.Clock.time_s (fun () ->
         Dse.run ~samples:config.Protocol.samples
           ~iterations:config.Protocol.iterations ~seed:config.Protocol.seed
-          ~symbolic:config.Protocol.symbolic ~cache ~memos ~pool:t.pool
+          ~symbolic:config.Protocol.symbolic ~strategy ~cache ~memos ~pool:t.pool
           ~batch_wrap:(fun f -> Scheduler.with_turn t.sched f)
           ~on_frontier:(fun frontier explored ->
             Jobs.progress t.registry job ~explored

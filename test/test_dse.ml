@@ -197,6 +197,22 @@ let test_parallel_deterministic_gemm () =
 let test_parallel_deterministic_syrk () =
   check_jobs_invariant Models.Polybench.Syrk ~n:8 ~top:"syrk"
 
+(* The -j invariant is a property of the engine, not of one strategy: a
+   learning strategy observes every exact result in merge order, so its
+   model state — and therefore its proposals — must not depend on the
+   worker count either. *)
+let test_surrogate_parallel_deterministic () =
+  let run jobs =
+    let ctx, m = compile_kernel ~n:16 Models.Polybench.Gemm in
+    Dse.run ~samples:10 ~iterations:16 ~seed:11 ~jobs
+      ~strategy:(Qor_ml.surrogate ()) ctx m ~top:"gemm" ~platform:P.xc7z020
+  in
+  let r1 = run 1 and r4 = run 4 in
+  Alcotest.(check bool) "surrogate: -j 1 and -j 4 agree" true
+    (frontier_sig r1 = frontier_sig r4);
+  Alcotest.(check string) "strategy recorded in stats" "surrogate"
+    r1.Dse.stats.Dse.strategy
+
 let test_run_cache_stats () =
   let ctx, m = compile_kernel ~n:8 Models.Polybench.Gemm in
   let r = Dse.run ~samples:10 ~iterations:12 ~seed:4 ctx m ~top:"gemm" ~platform:P.xc7z020 in
@@ -496,6 +512,8 @@ let suite =
       Alcotest.test_case "dse caches: stats" `Slow test_run_cache_stats;
       Alcotest.test_case "parallel dse: -j invariant (gemm)" `Slow test_parallel_deterministic_gemm;
       Alcotest.test_case "parallel dse: -j invariant (syrk)" `Slow test_parallel_deterministic_syrk;
+      Alcotest.test_case "parallel dse: -j invariant (surrogate)" `Slow
+        test_surrogate_parallel_deterministic;
       Alcotest.test_case "fingerprint: deterministic across contexts" `Quick
         test_fingerprint_deterministic;
       Alcotest.test_case "fingerprint: structural sensitivity" `Quick

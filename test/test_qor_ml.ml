@@ -53,6 +53,68 @@ let test_trained_model_tracks_tool () =
   in
   Alcotest.(check bool) (Fmt.str "unseen ratio %.1f < 100" ratio) true (ratio < 100.)
 
+(* ---- Online RLS (the surrogate strategy's model) ------------------------------ *)
+
+let test_online_rls_recovers_linear_map () =
+  (* y = 5 + 2*x1 - 3*x2 recovered from exact data via Sherman-Morrison
+     updates; with tau = 100 the ridge prior leaves a ~1% shrinkage bias. *)
+  let t = Qor_ml.Online.create ~dim:3 () in
+  let mk a b = [| 1.; a; b |] in
+  let f x = 5. +. (2. *. x.(1)) -. (3. *. x.(2)) in
+  let xs =
+    [ mk 1. 0.; mk 0. 1.; mk 1. 1.; mk 2. 1.; mk 3. 5.; mk 0. 0.; mk 4. 2.; mk 2. 7. ]
+  in
+  List.iter (fun x -> Qor_ml.Online.observe t x (f x)) xs;
+  Alcotest.(check int) "count" (List.length xs) (Qor_ml.Online.count t);
+  List.iter
+    (fun x ->
+      Alcotest.(check (float 0.2)) "predicts training point" (f x)
+        (Qor_ml.Online.predict t x))
+    xs
+
+let test_online_leverage_shrinks () =
+  (* x^T P x is the predictive-variance scale: it must fall monotonically as
+     the same direction is observed, and never go negative. *)
+  let t = Qor_ml.Online.create ~dim:2 () in
+  let x = [| 1.; 2. |] in
+  let l0 = Qor_ml.Online.leverage t x in
+  Qor_ml.Online.observe t x 1.;
+  let l1 = Qor_ml.Online.leverage t x in
+  Qor_ml.Online.observe t x 1.;
+  let l2 = Qor_ml.Online.leverage t x in
+  Alcotest.(check bool) "leverage positive before data" true (l0 > 0.);
+  Alcotest.(check bool) "shrinks after first observation" true (l1 < l0);
+  Alcotest.(check bool) "keeps shrinking" true (l2 < l1);
+  Alcotest.(check bool) "stays non-negative" true (l2 >= 0.)
+
+let test_point_features () =
+  let ctx, m = compile_kernel ~n:8 Models.Polybench.Gemm in
+  let s = Dse.build_space ctx m ~top:"gemm" in
+  let pt1 =
+    { Dse.lp = true; rvb = false; perm = [ 0; 1; 2 ]; tiles = [ 1; 1; 1 ]; target_ii = 1 }
+  in
+  let x1 = Qor_ml.point_features s pt1 in
+  Alcotest.(check int) "dimension" Qor_ml.point_dim (Array.length x1);
+  Alcotest.(check (float 1e-9)) "bias" 1.0 x1.(0);
+  (* More unrolling = fewer pipeline iterations: the unroll feature grows and
+     the iteration feature falls, without ever applying the transform. *)
+  let x2 = Qor_ml.point_features s { pt1 with Dse.tiles = [ 2; 2; 2 ] } in
+  Alcotest.(check bool) "unroll feature grows" true (x2.(3) > x1.(3));
+  Alcotest.(check bool) "iteration feature falls" true (x2.(1) < x1.(1))
+
+let test_strategy_registry () =
+  Alcotest.(check bool) "exhaustive resolves" true
+    (Option.is_some (Qor_ml.strategy_of_name "exhaustive"));
+  Alcotest.(check bool) "surrogate resolves" true
+    (Option.is_some (Qor_ml.strategy_of_name "surrogate"));
+  Alcotest.(check bool) "unknown rejected" true
+    (Option.is_none (Qor_ml.strategy_of_name "simulated-annealing"));
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " listed name resolves") true
+        (Option.is_some (Qor_ml.strategy_of_name n)))
+    Qor_ml.strategy_names
+
 let suite =
   ( "qor-ml",
     [
@@ -60,4 +122,9 @@ let suite =
       Alcotest.test_case "feature extraction" `Quick test_features_shape;
       Alcotest.test_case "features track optimization" `Quick test_features_sensitive_to_optimization;
       Alcotest.test_case "trained model tracks the tool" `Slow test_trained_model_tracks_tool;
+      Alcotest.test_case "online RLS recovers a linear map" `Quick
+        test_online_rls_recovers_linear_map;
+      Alcotest.test_case "online RLS leverage shrinks" `Quick test_online_leverage_shrinks;
+      Alcotest.test_case "point features" `Quick test_point_features;
+      Alcotest.test_case "strategy registry" `Quick test_strategy_registry;
     ] )

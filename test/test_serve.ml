@@ -93,8 +93,16 @@ let test_protocol_parse () =
       Alcotest.(check string) "top" "f" top;
       Alcotest.(check int) "seed override" 7 config.Sp.seed;
       Alcotest.(check int) "samples override" 4 config.Sp.samples;
-      Alcotest.(check int) "iterations default" 80 config.Sp.iterations
+      Alcotest.(check int) "iterations default" 80 config.Sp.iterations;
+      Alcotest.(check string) "strategy default" "exhaustive" config.Sp.strategy
   | _ -> Alcotest.fail "C search did not parse");
+  (match
+     Sp.request_of_line
+       {|{"req":"search","design":{"kernel":"gemm"},"config":{"strategy":"surrogate"}}|}
+   with
+  | Ok (Sp.Search { config; _ }) ->
+      Alcotest.(check string) "strategy override" "surrogate" config.Sp.strategy
+  | _ -> Alcotest.fail "strategy search did not parse");
   List.iter
     (fun (line, expect) ->
       match Sp.request_of_line line with
@@ -119,7 +127,9 @@ let test_protocol_parse () =
 let test_protocol_client_roundtrip () =
   (* What the --remote client builds must parse back to the same request. *)
   let design = Sp.Kernel { kernel = "syrk"; size = 16 } in
-  let config = { Sp.default_config with Sp.seed = 99; symbolic = false } in
+  let config =
+    { Sp.default_config with Sp.seed = 99; symbolic = false; strategy = "surrogate" }
+  in
   match
     Sp.request_of_line (Json.to_string (Sp.search_request ~design ~config))
   with
@@ -279,12 +289,12 @@ let test_jobs_lifecycle () =
 
 (* ---- The headline property: warm replay ------------------------------------ *)
 
-let test_store_warm_run_bit_identical () =
+let check_store_warm_run_bit_identical ~strategy () =
   with_temp_store @@ fun path ->
   Sys.remove path;
   let search store =
     let ctx, m = compile_kernel ~n:8 Models.Polybench.Gemm in
-    Dse.run ~samples:8 ~iterations:10 ~seed:7
+    Dse.run ~samples:8 ~iterations:10 ~seed:7 ?strategy
       ~cache:(Serve.Store.cache_for store "xc7z020")
       ~memos:(Serve.Store.memos store)
       ctx m ~top:"gemm" ~platform:P.xc7z020
@@ -305,6 +315,16 @@ let test_store_warm_run_bit_identical () =
   Alcotest.(check bool) "warm hits nonzero" true
     (r2.Dse.stats.Dse.cache_hits > 0)
 
+let test_store_warm_run_bit_identical () =
+  check_store_warm_run_bit_identical ~strategy:None ()
+
+(* The same replay contract must hold for a learning strategy: warm-store
+   merges reach [Strategy.observe] in the cold run's merge order, so the
+   surrogate's RLS state — and every shortlist it derives — replays exactly,
+   down to a zero-miss warm run. *)
+let test_store_warm_run_surrogate () =
+  check_store_warm_run_bit_identical ~strategy:(Some (Qor_ml.surrogate ())) ()
+
 let suite =
   ( "serve",
     [
@@ -324,4 +344,6 @@ let suite =
       Alcotest.test_case "jobs lifecycle" `Quick test_jobs_lifecycle;
       Alcotest.test_case "warm store replays bit-identical" `Quick
         test_store_warm_run_bit_identical;
+      Alcotest.test_case "warm store replays the surrogate bit-identical" `Quick
+        test_store_warm_run_surrogate;
     ] )
