@@ -501,6 +501,18 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
          (fun (stage, secs) -> Printf.sprintf "\"%s\": %.3f" stage secs)
          r1.Dse.stats.Dse.stage_seconds)
   in
+  (* Per-point latency quantiles from the "dse" registry histogram — the
+     same series the Prometheus exposition serves, accumulated over every
+     arm above. Informational (not CI-gated): quantiles shift with machine
+     load; the throughput gate already covers regressions. *)
+  let observability_json =
+    let h = Obs.Metrics.histogram (Obs.Metrics.registry "dse") "evaluate_seconds" in
+    Printf.sprintf
+      {|{ "evaluate_count": %d, "evaluate_p50_s": %.6f, "evaluate_p99_s": %.6f }|}
+      (Obs.Metrics.histogram_count h)
+      (Obs.Metrics.quantile h 0.5)
+      (Obs.Metrics.quantile h 0.99)
+  in
   let oc = open_out "BENCH_dse.json" in
   Printf.fprintf oc
     {|{
@@ -539,6 +551,7 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
     "warm_frontier_match": %b
   },
   "strategy_efficiency": %s,
+  "observability": %s,
   "profile_s": { %s }
 }
 |}
@@ -557,7 +570,7 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
     (tc /. Float.max 1e-9 tw)
     (pps rc tc) (pps rw tw) rw.Dse.stats.Dse.cache_hits
     rw.Dse.stats.Dse.cache_misses warm_hit_rate warm_frontier_match
-    strategy_efficiency_json profile_json;
+    strategy_efficiency_json observability_json profile_json;
   close_out oc;
   Fmt.pr "@.wrote BENCH_dse.json@."
 

@@ -26,6 +26,18 @@ let metrics =
            campaign counters, ...) as JSON Lines to $(docv) on exit. The \
            $(b,SCALEHLS_METRICS) environment variable sets a default.")
 
+let events =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:
+          "Append search-quality timeline events (hypervolume per round, \
+           frontier snapshots, surrogate calibration) as JSON Lines to \
+           $(docv) while the search runs — the input of \
+           $(b,scalehls-report). The $(b,SCALEHLS_EVENTS) environment \
+           variable sets a default.")
+
 (* The SIGINT/SIGTERM handlers raise {!Obs.Report.Terminated} so termination
    unwinds through every [Fun.protect] finalizer on the stack — in
    particular the exporter in {!Obs.Report.run}, which flushes the
@@ -47,9 +59,9 @@ let install_termination_handlers () =
     exit, on a crash, and on SIGINT/SIGTERM (conventional 128+N exit code).
     Long-running binaries that want a graceful shutdown instead (the serve
     daemon) override the handlers inside [f]. *)
-let with_obs ~trace ~metrics f =
+let with_obs ?(events = None) ~trace ~metrics f =
   install_termination_handlers ();
-  try Obs.Report.run ~trace ~metrics f
+  try Obs.Report.run ~events ~trace ~metrics f
   with Obs.Report.Terminated signal ->
     let name = if signal = Sys.sigterm then "SIGTERM" else "SIGINT" in
     Fmt.epr "terminated by %s@." name;

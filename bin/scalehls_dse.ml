@@ -69,6 +69,10 @@ let print_remote_result j =
 let run_remote socket input kernel size top platform samples iterations seed
     symbolic strategy =
   let module Json = Obs.Json in
+  (* After the result, if this client is tracing, pull the daemon's spans for
+     our job and merge them into the local trace file (under their own pid),
+     so one Chrome trace shows both halves of the remote search. *)
+  let job_id = ref None in
   let design =
     match (input, kernel) with
     | Some path, _ ->
@@ -97,6 +101,31 @@ let run_remote socket input kernel size top platform samples iterations seed
     (Json.to_string (Serve.Protocol.search_request ~design ~config));
   output_char oc '\n';
   flush oc;
+  let fetch_remote_trace () =
+    match !job_id with
+    | Some jid when Obs.Trace.enabled () -> (
+        output_string oc
+          (Json.to_string (Serve.Protocol.trace_request ~job:jid));
+        output_char oc '\n';
+        flush oc;
+        match input_line ic with
+        | exception (End_of_file | Sys_error _) ->
+            Fmt.epr "remote: connection closed before the trace arrived@."
+        | line -> (
+            match Json.of_string line with
+            | Error msg -> Fmt.epr "remote: undecodable trace: %s@." msg
+            | Ok j -> (
+                match (Json.member "enabled" j, Json.member "events" j) with
+                | Some (Json.Bool false), _ ->
+                    Fmt.epr
+                      "remote: daemon runs without --trace, no spans to merge@."
+                | _, Some (Json.List events) ->
+                    Obs.Trace.add_external events;
+                    Fmt.epr "remote: merged %d daemon spans for job %d@."
+                      (List.length events) jid
+                | _ -> ())))
+    | _ -> ()
+  in
   let rec loop () =
     match input_line ic with
     | exception (End_of_file | Sys_error _) ->
@@ -109,6 +138,11 @@ let run_remote socket input kernel size top platform samples iterations seed
             1
         | Ok j -> (
             match Json.member "resp" j with
+            | Some (Json.String "ack") ->
+                (match Json.member "job" j with
+                | Some (Json.Int id) -> job_id := Some id
+                | _ -> ());
+                loop ()
             | Some (Json.String "frontier") ->
                 (match (Json.member "explored" j, Json.member "points" j) with
                 | Some (Json.Int explored), Some (Json.List points) ->
@@ -124,14 +158,17 @@ let run_remote socket input kernel size top platform samples iterations seed
                 in
                 Fmt.epr "remote error: %s@." msg;
                 1
-            | Some (Json.String "result") -> print_remote_result j
+            | Some (Json.String "result") ->
+                let rc = print_remote_result j in
+                fetch_remote_trace ();
+                rc
             | _ -> loop ()))
   in
   Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ()) loop
 
 let run input kernel size top platform samples iterations seed jobs symbolic
-    strategy profile emit remote trace metrics =
-  Obs_flags.with_obs ~trace ~metrics @@ fun () ->
+    strategy profile emit remote trace metrics events =
+  Obs_flags.with_obs ~events ~trace ~metrics @@ fun () ->
   match remote with
   | Some socket ->
       run_remote socket input kernel size top platform samples iterations seed
@@ -176,42 +213,58 @@ let run input kernel size top platform samples iterations seed jobs symbolic
     (if r.Dse.stats.Dse.jobs = 1 then "" else "s");
   if profile then begin
     let s = r.Dse.stats in
+    (* The cache/evaluation/stage numbers come from the "dse" metrics
+       registry — the same series `--metrics` exports and the serve daemon
+       scrapes — so the profile can never drift from the exported telemetry.
+       For this single-run process the registry totals equal the run's
+       stats; strategy counters and fallback reasons keep the per-run stats
+       (their registry names are strategy-qualified). *)
+    let reg = Obs.Metrics.registry "dse" in
+    let c name = int_of_float (Obs.Metrics.value (Obs.Metrics.counter reg name)) in
     Fmt.pr "strategy   : %s (%s)@." s.Dse.strategy
       (String.concat ", "
          (List.map
             (fun (k, v) -> Printf.sprintf "%s %d" k v)
             s.Dse.strategy_counters));
+    let est_hits = c "est_memo.hits" and est_misses = c "est_memo.misses" in
     Fmt.pr "evaluation : %d symbolic, %d fallback, %d estimator-memo hit%s@."
-      s.Dse.symbolic_points s.Dse.fallback_points s.Dse.est_memo_hits
-      (if s.Dse.est_memo_hits = 1 then "" else "s");
+      (c "points.symbolic") (c "points.fallback") est_hits
+      (if est_hits = 1 then "" else "s");
     List.iter
       (fun (reason, n) -> Fmt.pr "  fallback because %s: %d@." reason n)
       s.Dse.fallback_reasons;
     Fmt.pr "caches     : eval %d/%d hits (%.0f%%), pre %d/%d@."
-      s.Dse.cache_hits
-      (s.Dse.cache_hits + s.Dse.cache_misses)
-      (100. *. Dse.hit_rate s.Dse.cache_hits s.Dse.cache_misses)
-      s.Dse.pre_hits
-      (s.Dse.pre_hits + s.Dse.pre_misses);
+      (c "eval_cache.hits")
+      (c "eval_cache.hits" + c "eval_cache.misses")
+      (100. *. Dse.hit_rate (c "eval_cache.hits") (c "eval_cache.misses"))
+      (c "pre_cache.hits")
+      (c "pre_cache.hits" + c "pre_cache.misses");
     (* Memo granularity: the transform memo works per (perm, tiles) module
        (target-II ladder siblings share one), the estimator memo per
        pipelined band. *)
     Fmt.pr "transforms : %d shared / %d built (%.0f%% of points reused a sibling's module)@."
-      s.Dse.tf_hits s.Dse.tf_misses
-      (100. *. Dse.hit_rate s.Dse.tf_hits s.Dse.tf_misses);
-    let evaluated = max 1 (s.Dse.cache_misses) in
+      (c "tf_memo.hits") (c "tf_memo.misses")
+      (100. *. Dse.hit_rate (c "tf_memo.hits") (c "tf_memo.misses"));
+    let evaluated = max 1 (c "eval_cache.misses") in
     Fmt.pr
       "bands      : %d reused / %d re-scheduled (%.0f%% band hit rate, %.1f bands re-scheduled per point)@."
-      s.Dse.est_memo_hits s.Dse.est_memo_misses
-      (100. *. Dse.hit_rate s.Dse.est_memo_hits s.Dse.est_memo_misses)
-      (float_of_int s.Dse.est_memo_misses /. float_of_int evaluated);
+      est_hits est_misses
+      (100. *. Dse.hit_rate est_hits est_misses)
+      (float_of_int est_misses /. float_of_int evaluated);
     Fmt.pr "workers    : %a@."
       Fmt.(
         list ~sep:comma (fun fmt (i, f) -> pf fmt "#%d %.0f%% busy" i (100. *. f)))
       s.Dse.worker_busy;
+    let eval_h = Obs.Metrics.histogram reg "evaluate_seconds" in
+    if Obs.Metrics.histogram_count eval_h > 0 then
+      Fmt.pr "evaluate   : p50 %.4fs, p99 %.4fs per point@."
+        (Obs.Metrics.quantile eval_h 0.5)
+        (Obs.Metrics.quantile eval_h 0.99);
     Fmt.pr "per stage  :@.";
     List.iter
-      (fun (stage, secs) -> Fmt.pr "  %-10s %6.2fs@." stage secs)
+      (fun (stage, _) ->
+        Fmt.pr "  %-10s %6.2fs@." stage
+          (Obs.Metrics.value (Obs.Metrics.counter reg ("stage_seconds." ^ stage))))
       s.Dse.stage_seconds
   end;
   (match r.Dse.best with
@@ -309,6 +362,6 @@ let cmd =
     Term.(
       const run $ input $ kernel $ size $ top $ platform $ samples $ iterations
       $ seed $ jobs $ symbolic $ strategy $ profile $ emit $ remote
-      $ Obs_flags.trace $ Obs_flags.metrics)
+      $ Obs_flags.trace $ Obs_flags.metrics $ Obs_flags.events)
 
 let () = exit (Cmd.eval' cmd)

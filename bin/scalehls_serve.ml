@@ -7,10 +7,11 @@
 
 open Cmdliner
 
-let run socket store jobs checkpoint_every trace metrics =
-  Obs_flags.with_obs ~trace ~metrics @@ fun () ->
+let run socket store jobs checkpoint_every metrics_port trace metrics events =
+  Obs_flags.with_obs ~events ~trace ~metrics @@ fun () ->
   let server =
-    Serve.Server.create ~socket ?store_path:store ~jobs ~checkpoint_every ()
+    Serve.Server.create ~socket ?store_path:store ~jobs ~checkpoint_every
+      ~metrics_port ()
   in
   (* Override the raising handlers installed by [with_obs]: the daemon
      drains running searches and checkpoints the store before exiting. The
@@ -57,11 +58,23 @@ let checkpoint_every =
     & info [ "checkpoint-every" ] ~docv:"SECONDS"
         ~doc:"Periodic store-checkpoint interval (0 disables; shutdown still saves).")
 
+let metrics_port =
+  Arg.(
+    value & opt int 0
+    & info [ "metrics-port" ] ~docv:"PORT"
+        ~doc:
+          "Serve the live Prometheus text exposition (queue depth, batch \
+           latency quantiles, store hit rates, checkpoint age, per-worker \
+           busy fractions) over HTTP on 127.0.0.1:$(docv) — a scrape \
+           endpoint for a running daemon. 0 (the default) disables the \
+           listener; the socket protocol's $(b,metrics) request works \
+           either way.")
+
 let cmd =
   let doc = "persistent ScaleHLS DSE service over a Unix-domain socket" in
   Cmd.v (Cmd.info "scalehls-serve" ~doc)
     Term.(
-      const run $ socket $ store $ jobs $ checkpoint_every $ Obs_flags.trace
-      $ Obs_flags.metrics)
+      const run $ socket $ store $ jobs $ checkpoint_every $ metrics_port
+      $ Obs_flags.trace $ Obs_flags.metrics $ Obs_flags.events)
 
 let () = exit (Cmd.eval' cmd)

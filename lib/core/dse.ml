@@ -786,6 +786,12 @@ module Strategy = struct
     canon : point -> point;
     evaluated : unit -> evaluated list;
     explored : unit -> int;
+    emit_event : string -> (unit -> (string * Obs.Json.t) list) -> unit;
+        (** Append a structured line to the search-quality event log
+            ([Obs.Events]); the engine stamps the job id and timestamp. The
+            field list is a thunk — costs one atomic load when no event sink
+            is configured. Strategies use it for learning-health telemetry
+            (e.g. surrogate calibration), never for search decisions. *)
   }
 
   type instance = {
@@ -971,7 +977,8 @@ let record_metrics (s : stats) explored =
     (float_of_int explored /. Float.max 1e-9 s.wall_seconds);
   set (gauge reg "jobs") (float_of_int s.jobs);
   List.iter
-    (fun (i, f) -> set (gauge reg (Printf.sprintf "worker.%d.busy_fraction" i)) f)
+    (fun (i, f) ->
+      set (gauge ~labels:[ ("worker", string_of_int i) ] reg "worker.busy_fraction") f)
     s.worker_busy;
   List.iter
     (fun (stage, secs) -> add (counter reg ("stage_seconds." ^ stage)) secs)
@@ -1001,11 +1008,24 @@ let record_metrics (s : stats) explored =
     submission, letting a scheduler interleave several concurrent searches
     fairly at batch granularity. [?on_frontier] fires with the current
     frontier and explored count after every traversal round (and once at
-    the end) — the streaming hook. *)
+    the end) — the streaming hook.
+
+    [?job] is the run's observability identity: it labels every [dse.*]
+    trace span ([args.job]) and event-log line, so concurrent searches
+    sharing one process (a serve daemon) stay separable in a single Chrome
+    trace and event file. Defaults to [top] — meaningful for one-shot CLI
+    runs; services pass their own job id. Purely observational. *)
 let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
     ?(max_ii = 8) ?(heuristic_seeds = true) ?(jobs = 1) ?(symbolic = true)
     ?(strategy = exhaustive) ?cache:cache_opt ?memos:memos_opt ?pool:pool_opt
-    ?(batch_wrap = fun f -> f ()) ?on_frontier ctx m ~top ~platform : result =
+    ?(batch_wrap = fun f -> f ()) ?on_frontier ?job ctx m ~top ~platform :
+    result =
+  let frontier_track =
+    (* Separate Chrome counter tracks per explicit job; the default track
+       name is stable for single-search runs (and their tests). *)
+    match job with None -> "dse.frontier" | Some j -> "dse.frontier." ^ j
+  in
+  let job = match job with Some j -> j | None -> top in
   let jobs =
     let cores = Domain.recommended_domain_count () in
     if jobs <= 0 then cores else min jobs cores
@@ -1068,9 +1088,14 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
      preprocessed module, so concurrent evaluations never contend and the
      outcome is a pure function of the (canonical) point. *)
   let eval_seconds = Obs.Metrics.histogram (Obs.Metrics.registry "dse") "evaluate_seconds" in
+  let eval_rate = Obs.Metrics.window (Obs.Metrics.registry "dse") "points" in
   let eval_one pt =
     Obs.Trace.with_span_args ~cat:"dse" "dse.evaluate"
-      ~args:[ ("point", Obs.Json.String (Fmt.str "%a" pp_point pt)) ]
+      ~args:
+        [
+          ("job", Obs.Json.String job);
+          ("point", Obs.Json.String (Fmt.str "%a" pp_point pt));
+        ]
       (fun () ->
         let pre = preprocessed pt.lp pt.rvb in
         (* [pt] is canonical and [pre_fps] was populated by [key_of] during
@@ -1092,6 +1117,7 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
         in
         instr_merge instr t;
         Obs.Metrics.observe eval_seconds secs;
+        Obs.Metrics.mark eval_rate 1.;
         let span_args =
           if not (Obs.Trace.enabled ()) then []
           else
@@ -1147,8 +1173,24 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
         canon = (fun pt -> snd (key_of pt));
         evaluated = (fun () -> !evaluated);
         explored = (fun () -> !explored);
+        emit_event =
+          (fun ev fields ->
+            Obs.Events.emit ev (fun () ->
+                ("job", Obs.Json.String job) :: fields ()));
       }
   in
+  Obs.Events.emit "dse.job.start" (fun () ->
+      [
+        ("job", Obs.Json.String job);
+        ("top", Obs.Json.String top);
+        ("strategy", Obs.Json.String strat.Strategy.name);
+        ("samples", Obs.Json.Int samples);
+        ("iterations", Obs.Json.Int iterations);
+        ("seed", Obs.Json.Int seed);
+        ("jobs", Obs.Json.Int jobs);
+        ("dsp_budget", Obs.Json.Int platform.Platform.dsp);
+        ("space", Obs.Json.Int (space_size s));
+      ]);
   (* Evaluate a batch of proposals: dedup within the batch, skip points this
      run already merged (counted as cache hits), evaluate the rest on the
      pool, and merge results in submission order — the merge order, not
@@ -1231,11 +1273,34 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
   (* Frontier-size evolution: one counter sample per traversal round, so the
      trace shows the search converging (and the explored count climbing). *)
   let sample_frontier frontier =
-    Obs.Trace.counter ~cat:"dse" "dse.frontier"
+    Obs.Trace.counter ~cat:"dse" frontier_track
       [
         ("size", float_of_int (List.length frontier));
         ("explored", float_of_int !explored);
       ];
+    Obs.Events.emit "dse.round" (fun () ->
+        [
+          ("job", Obs.Json.String job);
+          ("explored", Obs.Json.Int !explored);
+          ("frontier_size", Obs.Json.Int (List.length frontier));
+          ( "frontier",
+            (* Latency-increasing, like {!pareto_frontier} — the report's
+               hypervolume reconstruction relies on this order. *)
+            Obs.Json.List
+              (List.map
+                 (fun p ->
+                   Obs.Json.Obj
+                     [
+                       ("l", Obs.Json.Int p.estimate.Estimator.latency);
+                       ("a", Obs.Json.Int (area_of p.estimate));
+                     ])
+                 frontier) );
+          ( "counters",
+            Obs.Json.Obj
+              (List.map
+                 (fun (k, v) -> (k, Obs.Json.Int v))
+                 (strat.Strategy.counters ())) );
+        ]);
     match on_frontier with Some cb -> cb frontier !explored | None -> ()
   in
   while !continue_ && !used < iterations do
@@ -1293,8 +1358,27 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
     }
   in
   record_metrics stats !explored;
+  Obs.Events.emit "dse.job.end" (fun () ->
+      [
+        ("job", Obs.Json.String job);
+        ("explored", Obs.Json.Int !explored);
+        ("wall_s", Obs.Json.Float stats.wall_seconds);
+        ("strategy", Obs.Json.String stats.strategy);
+        ( "best_latency",
+          match best with
+          | Some b -> Obs.Json.Int b.estimate.Estimator.latency
+          | None -> Obs.Json.Null );
+        ( "counters",
+          Obs.Json.Obj
+            (List.map (fun (k, v) -> (k, Obs.Json.Int v)) stats.strategy_counters)
+        );
+      ]);
   { best; pareto = frontier; explored = !explored; module_; stats }
   in
-  match pool_opt with
-  | Some pool -> run_on_pool pool
-  | None -> Parpool.with_pool ~jobs run_on_pool
+  Obs.Trace.with_span ~cat:"dse"
+    ~args:[ ("job", Obs.Json.String job); ("top", Obs.Json.String top) ]
+    "dse.run"
+    (fun () ->
+      match pool_opt with
+      | Some pool -> run_on_pool pool
+      | None -> Parpool.with_pool ~jobs run_on_pool)

@@ -16,24 +16,30 @@ exception Terminated of int
 
 let env_trace = "SCALEHLS_TRACE"
 let env_metrics = "SCALEHLS_METRICS"
+let env_events = "SCALEHLS_EVENTS"
 
 let resolve opt env =
   match opt with Some _ -> opt | None -> Sys.getenv_opt env
 
-(** [run ~trace ~metrics f] — [trace]/[metrics] are the [--trace FILE] /
-    [--metrics FILE] values ([None] falls back to the environment). Tracing
-    is enabled only when a trace destination exists; metrics instruments are
-    always live and are simply exported (or not) at the end. *)
-let run ~trace ~metrics f =
+(** [run ~trace ~metrics f] — [trace]/[metrics]/[events] are the
+    [--trace FILE] / [--metrics FILE] / [--events FILE] values ([None] falls
+    back to the environment). Tracing is enabled only when a trace
+    destination exists; the event log opens (append) up front so events
+    stream as the run progresses; metrics instruments are always live and
+    are simply exported (or not) at the end. *)
+let run ?(events = None) ~trace ~metrics f =
   let trace = resolve trace env_trace in
   let metrics = resolve metrics env_metrics in
+  let events = resolve events env_events in
   if Option.is_some trace then begin
     Trace.reset ();
     Trace.enable ()
   end;
+  Option.iter Events.configure events;
   Fun.protect
     ~finally:(fun () ->
       Trace.disable ();
+      Option.iter (fun _ -> Events.close ()) events;
       Option.iter
         (fun path ->
           Trace.write_chrome path;
@@ -45,6 +51,7 @@ let run ~trace ~metrics f =
           Metrics.write_jsonl path;
           Fmt.epr "metrics: wrote %s@." path)
         metrics;
+      Option.iter (fun path -> Fmt.epr "events: wrote %s@." path) events;
       if trace <> None || metrics <> None then
         Fmt.epr "===- Metrics summary -===@\n%a@." Metrics.pp_summary ())
     f

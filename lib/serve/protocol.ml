@@ -13,7 +13,14 @@
                "symbolic":true,"platform":"xc7z020"}}
     {"req":"search","design":{"c":"void f(...){...}","top":"f"},...}
     {"req":"status"} {"req":"ping"} {"req":"checkpoint"} {"req":"shutdown"}
+    {"req":"metrics"} {"req":"trace","job":3}
     v}
+
+    [metrics] returns the daemon's Prometheus text exposition (for ad-hoc
+    scraping over the socket; [--metrics-port] serves the same body over
+    HTTP). [trace] returns the daemon-side spans recorded for one job, so a
+    remote client can merge the server's half of the work into its own
+    Chrome trace.
 
     There is no IR parser in this repository, so designs are either a named
     PolyBench kernel with a problem size or HLS-C source compiled by the
@@ -54,6 +61,8 @@ type request =
   | Status
   | Ping
   | Checkpoint
+  | Metrics
+  | Trace of { job : int }
   | Shutdown
 
 let design_label = function
@@ -118,6 +127,11 @@ let search_request ~design ~config =
     ]
 
 let status_request = Json.Obj [ ("req", Json.String "status") ]
+let metrics_request = Json.Obj [ ("req", Json.String "metrics") ]
+
+let trace_request ~job =
+  Json.Obj [ ("req", Json.String "trace"); ("job", Json.Int job) ]
+
 let shutdown_request = Json.Obj [ ("req", Json.String "shutdown") ]
 
 (** Parse one request line. [Error] carries a client-facing message. *)
@@ -136,6 +150,9 @@ let request_of_line line : (request, string) result =
         | Some (Json.String "status") -> Status
         | Some (Json.String "ping") -> Ping
         | Some (Json.String "checkpoint") -> Checkpoint
+        | Some (Json.String "metrics") -> Metrics
+        | Some (Json.String "trace") ->
+            Trace { job = Codec.to_int (Codec.member "job" j) }
         | Some (Json.String "shutdown") -> Shutdown
         | Some (Json.String other) ->
             raise (Codec.Malformed (Printf.sprintf "unknown request %S" other))
@@ -152,6 +169,21 @@ let error msg = resp "error" [ ("message", Json.String msg) ]
 
 let ack ~job_id ~label =
   resp "ack" [ ("job", Json.Int job_id); ("label", Json.String label) ]
+
+(** The Prometheus text exposition, carried as one JSON string field. *)
+let metrics_response body = resp "metrics" [ ("prometheus", Json.String body) ]
+
+(** The daemon-side Chrome trace events recorded for [job] (already in
+    trace_event JSON form). [enabled=false] tells the client the daemon ran
+    without [--trace], so an empty list means "not recorded", not "no
+    work". *)
+let trace_response ~job ~enabled events =
+  resp "trace"
+    [
+      ("job", Json.Int job);
+      ("enabled", Json.Bool enabled);
+      ("events", Json.List events);
+    ]
 
 (** One streamed frontier update: the current Pareto frontier (latency-
     increasing) and how many points have been explored so far. *)

@@ -32,10 +32,17 @@ let create () =
     granted = 0;
   }
 
+let wait_seconds =
+  Obs.Metrics.histogram (Obs.Metrics.registry "serve") "turn_wait_seconds"
+
 (** Run [f] while holding the pool: blocks until every earlier requester has
     had its turn, runs [f], releases. Reentrant calls would self-deadlock —
-    the engine never nests batches. *)
-let with_turn t f =
+    the engine never nests batches. [?label] names the search in the
+    [serve.turn] trace span (jobs interleave on the same pool, so spans
+    carry the identity; tids do not); the time spent queued behind other
+    searches lands in the [serve.turn_wait_seconds] histogram either way. *)
+let with_turn ?label t f =
+  let t0 = Obs.Clock.now_ns () in
   Mutex.lock t.lock;
   let ticket = t.next_ticket in
   t.next_ticket <- ticket + 1;
@@ -47,13 +54,20 @@ let with_turn t f =
   t.active <- Some ticket;
   t.granted <- t.granted + 1;
   Mutex.unlock t.lock;
+  Obs.Metrics.observe wait_seconds (Obs.Clock.since_s t0);
   Fun.protect
     ~finally:(fun () ->
       Mutex.lock t.lock;
       t.active <- None;
       Condition.broadcast t.turn_free;
       Mutex.unlock t.lock)
-    f
+    (fun () ->
+      Obs.Trace.with_span ~cat:"serve"
+        ~args:
+          (match label with
+          | Some l -> [ ("job", Obs.Json.String l) ]
+          | None -> [])
+        "serve.turn" f)
 
 (** (waiting searches, a turn is active, turns granted so far). *)
 let stats t =

@@ -29,29 +29,101 @@ type t = {
   registry : Jobs.t;
   stop_flag : bool Atomic.t;
   checkpoint_every : float;
+  metrics_port : int;  (** [> 0]: serve Prometheus text over HTTP on localhost *)
+  start_ns : int64;
+  last_ckpt_ns : int64 Atomic.t;  (** completion time of the last checkpoint *)
+  last_ckpt_duration_s : float Atomic.t;  (** [-1.] until a checkpoint ran *)
 }
+
+(* Refresh the "serve" registry's health gauges from the live server state.
+   Runs as a pull collector at every metrics export (scrape, snapshot,
+   summary), so readings are scrape-time-fresh without any instrumentation
+   on the hot paths. Stops updating once the server is told to stop (the
+   pool is shut down on the way out; stale last values are fine). *)
+let publish_gauges t =
+  if not (Atomic.get t.stop_flag) then begin
+    let open Obs.Metrics in
+    let reg = registry "serve" in
+    let queued, running, done_, failed = Jobs.counts t.registry in
+    let sched_waiting, sched_active, sched_granted = Scheduler.stats t.sched in
+    set (gauge reg "jobs.queued") (float_of_int queued);
+    set (gauge reg "jobs.in_flight") (float_of_int running);
+    set (gauge reg "jobs.done") (float_of_int done_);
+    set (gauge reg "jobs.failed") (float_of_int failed);
+    set (gauge reg "queue.depth") (float_of_int sched_waiting);
+    set (gauge reg "queue.batch_active") (if sched_active then 1. else 0.);
+    counter_set (counter reg "queue.batches_granted") (float_of_int sched_granted);
+    let evals, hits, misses = Store.eval_stats t.store in
+    set (gauge reg "store.evals") (float_of_int evals);
+    set (gauge reg "store.eval_hit_rate")
+      (let total = hits + misses in
+       if total = 0 then 0. else float_of_int hits /. float_of_int total);
+    let memos = Store.memos t.store in
+    set (gauge reg "store.bands") (float_of_int (Estimator.memo_length memos));
+    set (gauge reg "store.band_hit_rate")
+      (let h = Estimator.memo_hits memos and m = Estimator.memo_misses memos in
+       let total = h + m in
+       if total = 0 then 0. else float_of_int h /. float_of_int total);
+    List.iter
+      (fun (i, f) ->
+        set (gauge ~labels:[ ("worker", string_of_int i) ] reg "worker.busy_fraction") f)
+      (Parpool.busy_fractions t.pool);
+    set (gauge reg "uptime_s") (Obs.Clock.since_s t.start_ns);
+    set (gauge reg "checkpoint_age_s") (Obs.Clock.since_s (Atomic.get t.last_ckpt_ns));
+    let d = Atomic.get t.last_ckpt_duration_s in
+    if d >= 0. then set (gauge reg "checkpoint_duration_s") d
+  end
 
 (** [create ~socket ()] prepares a server (no socket is bound until {!run}).
     [store_path] enables persistence; [jobs] sizes the shared worker pool
     ([0] = one per core); [checkpoint_every] is the periodic-checkpoint
     interval in seconds ([0.] disables periodic checkpoints — shutdown still
-    saves). *)
-let create ~socket ?store_path ?(jobs = 0) ?(checkpoint_every = 60.) () =
-  {
-    socket_path = socket;
-    store = Store.open_ ?path:store_path ();
-    pool = Parpool.create ~jobs ();
-    sched = Scheduler.create ();
-    registry = Jobs.create ();
-    stop_flag = Atomic.make false;
-    checkpoint_every;
-  }
+    saves); [metrics_port > 0] additionally serves the Prometheus exposition
+    over HTTP on [127.0.0.1:port] (the socket [metrics] request works
+    regardless). *)
+let create ~socket ?store_path ?(jobs = 0) ?(checkpoint_every = 60.)
+    ?(metrics_port = 0) () =
+  let now = Obs.Clock.now_ns () in
+  let t =
+    {
+      socket_path = socket;
+      store = Store.open_ ?path:store_path ();
+      pool = Parpool.create ~jobs ();
+      sched = Scheduler.create ();
+      registry = Jobs.create ();
+      stop_flag = Atomic.make false;
+      checkpoint_every;
+      metrics_port;
+      start_ns = now;
+      last_ckpt_ns = Atomic.make now;
+      last_ckpt_duration_s = Atomic.make (-1.);
+    }
+  in
+  Obs.Metrics.register_collector (fun () -> publish_gauges t);
+  t
 
 let store t = t.store
 
 (** Request shutdown. Async-signal-safe (a single atomic store): install it
     directly as the SIGINT/SIGTERM handler. *)
 let stop t = Atomic.set t.stop_flag true
+
+let checkpoint_seconds =
+  Obs.Metrics.histogram (Obs.Metrics.registry "serve") "checkpoint_seconds"
+
+(* Every store checkpoint goes through here so age/duration telemetry can't
+   drift from reality: times the save, stamps the completion, feeds the
+   duration histogram. *)
+let checkpoint t =
+  let records, secs =
+    Obs.Clock.time_s (fun () ->
+        Obs.Trace.with_span ~cat:"serve" "serve.checkpoint" (fun () ->
+            Store.save t.store))
+  in
+  Atomic.set t.last_ckpt_ns (Obs.Clock.now_ns ());
+  Atomic.set t.last_ckpt_duration_s secs;
+  Obs.Metrics.observe checkpoint_seconds secs;
+  records
 
 let platform_of_name = function
   | "xc7z020" -> Some Vhls.Platform.xc7z020
@@ -83,12 +155,28 @@ let status_json t =
                Json.Obj
                  [ ("worker", Json.Int i); ("busy_fraction", Json.Float f) ])
              (Parpool.busy_fractions t.pool)) );
+      ("uptime_s", Json.Float (Obs.Clock.since_s t.start_ns));
+      ( "checkpoint_age_s",
+        Json.Float (Obs.Clock.since_s (Atomic.get t.last_ckpt_ns)) );
+      ( "checkpoint_duration_s",
+        let d = Atomic.get t.last_ckpt_duration_s in
+        if d >= 0. then Json.Float d else Json.Null );
       ("metrics", Obs.Metrics.snapshot ());
     ]
+
+let searches_total ~design ~strategy =
+  Obs.Metrics.counter
+    ~labels:[ ("design", design); ("strategy", strategy) ]
+    (Obs.Metrics.registry "serve") "searches_total"
 
 let run_search t send (design : Protocol.design) (config : Protocol.config) =
   let label = Protocol.design_label design in
   let job = Jobs.submit t.registry ~label in
+  (* The job id is the trace identity: every dse.* span this search emits
+     carries it, so concurrent searches stay separable in one Chrome trace
+     even though they interleave on the same worker domains. *)
+  let job_tag = string_of_int job.Jobs.id in
+  Obs.Metrics.add (searches_total ~design:label ~strategy:config.Protocol.strategy) 1.;
   send (Protocol.ack ~job_id:job.Jobs.id ~label);
   match
     let src, top =
@@ -125,7 +213,8 @@ let run_search t send (design : Protocol.design) (config : Protocol.config) =
         Dse.run ~samples:config.Protocol.samples
           ~iterations:config.Protocol.iterations ~seed:config.Protocol.seed
           ~symbolic:config.Protocol.symbolic ~strategy ~cache ~memos ~pool:t.pool
-          ~batch_wrap:(fun f -> Scheduler.with_turn t.sched f)
+          ~job:job_tag
+          ~batch_wrap:(fun f -> Scheduler.with_turn ~label:job_tag t.sched f)
           ~on_frontier:(fun frontier explored ->
             Jobs.progress t.registry job ~explored
               ~frontier_size:(List.length frontier);
@@ -174,8 +263,27 @@ let handle_conn t fd =
             send Protocol.pong;
             loop ()
         | Ok Protocol.Checkpoint ->
-            let records = Store.save t.store in
+            let records = checkpoint t in
             send (Protocol.resp "checkpointed" [ ("records", Json.Int records) ]);
+            loop ()
+        | Ok Protocol.Metrics ->
+            send (Protocol.metrics_response (Obs.Metrics.to_prometheus ()));
+            loop ()
+        | Ok (Protocol.Trace { job }) ->
+            let tag = Json.String (string_of_int job) in
+            let events =
+              if not (Obs.Trace.enabled ()) then []
+              else
+                List.filter_map
+                  (fun (e : Obs.Trace.event) ->
+                    if List.exists (fun (k, v) -> k = "job" && v = tag) e.args
+                    then Some (Obs.Trace.event_json e)
+                    else None)
+                  (Obs.Trace.events ())
+            in
+            send
+              (Protocol.trace_response ~job ~enabled:(Obs.Trace.enabled ())
+                 events);
             loop ()
         | Ok Protocol.Shutdown ->
             send (Protocol.resp "stopping" []);
@@ -184,6 +292,70 @@ let handle_conn t fd =
   (try loop () with _ -> ());
   (* [ic] owns the descriptor; closing it closes [oc]'s fd too. *)
   try close_in ic with Sys_error _ -> ()
+
+(* ---- The Prometheus scrape listener ----------------------------------------- *)
+
+(* Minimal HTTP/1.0 responder: any request gets the full text exposition.
+   One short-lived connection per scrape (Connection: close) keeps this
+   free of keep-alive state; Prometheus is happy with that. *)
+let answer_scrape conn =
+  let ic = Unix.in_channel_of_descr conn in
+  let oc = Unix.out_channel_of_descr conn in
+  (try
+     (* Drain the request head (request line + headers, up to blank). *)
+     let rec drain n =
+       if n > 0 then
+         match input_line ic with
+         | exception (End_of_file | Sys_error _) -> ()
+         | line when String.trim line = "" -> ()
+         | _ -> drain (n - 1)
+     in
+     drain 64;
+     let body = Obs.Metrics.to_prometheus () in
+     output_string oc "HTTP/1.0 200 OK\r\n";
+     output_string oc "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+     output_string oc
+       (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+     output_string oc "Connection: close\r\n\r\n";
+     output_string oc body;
+     flush oc
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  try close_in ic with Sys_error _ -> ()
+
+(* Accept loop for [--metrics-port], run on its own thread; polls the stop
+   flag like the main loop so shutdown brings it down within a beat. *)
+let metrics_listener t port =
+  match
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+       Unix.listen fd 16
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    fd
+  with
+  | exception e ->
+      (* A taken port must not take the daemon down — the socket protocol's
+         [metrics] request still works. *)
+      Logs.warn (fun k ->
+          k "scalehls-serve: cannot serve metrics on port %d: %s" port
+            (Printexc.to_string e))
+  | fd ->
+      Logs.app (fun k ->
+          k "scalehls-serve: metrics on http://127.0.0.1:%d/metrics" port);
+      while not (Atomic.get t.stop_flag) do
+        match Unix.select [ fd ] [] [] 0.25 with
+        | [ _ ], _, _ -> (
+            try
+              let conn, _ = Unix.accept fd in
+              answer_scrape conn
+            with Unix.Unix_error _ -> ())
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      Unix.close fd
 
 (** Bind the socket and serve until {!stop} (or a [shutdown] request). On
     the way out: running searches drain (bounded wait), the store is
@@ -205,6 +377,10 @@ let run t =
       k "scalehls-serve: listening on %s (%d worker%s)" t.socket_path
         (Parpool.jobs t.pool)
         (if Parpool.jobs t.pool = 1 then "" else "s"));
+  let scrape_thread =
+    if t.metrics_port <= 0 then None
+    else Some (Thread.create (fun () -> metrics_listener t t.metrics_port) ())
+  in
   let last_ckpt = ref (Obs.Clock.now_ns ()) in
   while not (Atomic.get t.stop_flag) do
     (match Unix.select [ fd ] [] [] 0.25 with
@@ -233,7 +409,7 @@ let run t =
       t.checkpoint_every > 0.
       && Obs.Clock.since_s !last_ckpt >= t.checkpoint_every
     then begin
-      ignore (Store.save t.store);
+      ignore (checkpoint t);
       last_ckpt := Obs.Clock.now_ns ()
     end
   done;
@@ -250,6 +426,7 @@ let run t =
     end
   in
   drain ();
-  let records = Store.save t.store in
+  let records = checkpoint t in
   Logs.app (fun k -> k "scalehls-serve: checkpointed %d records, bye" records);
+  Option.iter Thread.join scrape_thread;
   Parpool.shutdown t.pool

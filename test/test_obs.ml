@@ -176,7 +176,13 @@ let test_metrics_jsonl () =
            lines := input_line ic :: !lines
          done
        with End_of_file -> close_in ic);
-      let lines = List.rev !lines in
+      (* exports also carry collector-maintained series (e.g. the trace
+         drop counter) — count only the rows of this test's registry *)
+      let lines =
+        List.filter
+          (fun l -> contains ~needle:"\"registry\":\"test\"" l)
+          (List.rev !lines)
+      in
       Alcotest.(check int) "one row per metric" 3 (List.length lines);
       List.iter
         (fun line ->
@@ -435,6 +441,338 @@ let test_traced_dse_events () =
       in
       Alcotest.(check (float 0.0)) "points.explored counter" (float_of_int r.Dse.explored) explored)
 
+(* ---- Ring cap and drop accounting ----------------------------------------- *)
+
+let test_trace_ring_cap () =
+  let old_cap = Obs.Trace.cap () in
+  Obs.Trace.set_cap 64;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_cap old_cap;
+      Obs.Trace.disable ();
+      Obs.Trace.reset ())
+    (fun () ->
+      Obs.Trace.reset ();
+      Obs.Trace.enable ();
+      let dropped0 = Obs.Trace.dropped_spans () in
+      for i = 1 to 200 do
+        Obs.Trace.instant ~cat:"t" (Printf.sprintf "e%d" i)
+      done;
+      Obs.Trace.disable ();
+      let evs = Obs.Trace.events () in
+      Alcotest.(check int) "ring keeps exactly cap events" 64 (List.length evs);
+      Alcotest.(check int) "overwritten spans are counted" 136
+        (Obs.Trace.dropped_spans () - dropped0);
+      (* the survivors are the newest events, still in order *)
+      Alcotest.(check string) "oldest survivor" "e137"
+        (List.hd evs).Obs.Trace.name;
+      Alcotest.(check string) "newest survivor" "e200"
+        (List.nth evs 63).Obs.Trace.name;
+      (* the drop total reaches the metrics registry through the collector *)
+      ignore (Obs.Metrics.snapshot ());
+      let c =
+        Obs.Metrics.value
+          (Obs.Metrics.counter (Obs.Metrics.registry "trace") "dropped_spans")
+      in
+      Alcotest.(check bool) "trace/dropped_spans counter mirrors the total" true
+        (int_of_float c >= Obs.Trace.dropped_spans () - dropped0))
+
+(* ---- Histogram quantiles ---------------------------------------------------- *)
+
+let test_histogram_quantiles () =
+  Obs.Metrics.reset ();
+  Fun.protect ~finally:Obs.Metrics.reset @@ fun () ->
+  let reg = Obs.Metrics.registry "test" in
+  (* single-valued histogram: every quantile collapses to that value *)
+  let h1 = Obs.Metrics.histogram reg "const" in
+  for _ = 1 to 100 do
+    Obs.Metrics.observe h1 0.5
+  done;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "q=%.2f of constant" q)
+        0.5
+        (Obs.Metrics.quantile h1 q))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  (* two well-separated log buckets: the median must land between them and
+     the extreme quantiles are exact (clamped to observed min/max) *)
+  let h2 = Obs.Metrics.histogram reg "split" in
+  for _ = 1 to 50 do
+    Obs.Metrics.observe h2 0.001
+  done;
+  for _ = 1 to 50 do
+    Obs.Metrics.observe h2 1.0
+  done;
+  Alcotest.(check (float 1e-9)) "q0 = min" 0.001 (Obs.Metrics.quantile h2 0.0);
+  Alcotest.(check (float 1e-9)) "q1 = max" 1.0 (Obs.Metrics.quantile h2 1.0);
+  Alcotest.(check bool) "p25 in the low bucket" true
+    (Obs.Metrics.quantile h2 0.25 < 0.01);
+  Alcotest.(check bool) "p90 in the high bucket" true
+    (Obs.Metrics.quantile h2 0.9 > 0.1);
+  (* quantiles are monotone in q *)
+  let qs = List.map (Obs.Metrics.quantile h2) [ 0.1; 0.25; 0.5; 0.75; 0.9 ] in
+  ignore
+    (List.fold_left
+       (fun prev v ->
+         Alcotest.(check bool) "monotone quantiles" true (v >= prev);
+         v)
+       0. qs);
+  (* values beyond the largest finite bucket land in +Inf and clamp to max *)
+  let h3 = Obs.Metrics.histogram reg "overflow" in
+  Obs.Metrics.observe h3 1e9;
+  Obs.Metrics.observe h3 2e9;
+  Alcotest.(check (float 1.0)) "overflow clamps to observed max" 2e9
+    (Obs.Metrics.quantile h3 1.0);
+  let p99 = Obs.Metrics.quantile h3 0.99 in
+  Alcotest.(check bool) "overflow p99 within observed range" true
+    (p99 >= 1e9 && p99 <= 2e9)
+
+let test_histogram_cross_domain_merge () =
+  Obs.Metrics.reset ();
+  Fun.protect ~finally:Obs.Metrics.reset @@ fun () ->
+  let jobs = 4 and per_task = 250 in
+  Parpool.with_pool ~jobs (fun pool ->
+      ignore
+        (Parpool.map pool
+           (fun task ->
+             let h =
+               Obs.Metrics.histogram (Obs.Metrics.registry "test") "merged"
+             in
+             for i = 1 to per_task do
+               (* distinct magnitudes per task so every domain hits several
+                  buckets *)
+               Obs.Metrics.observe h (float_of_int (task + 1) *. 0.001 *. float_of_int i)
+             done)
+           (List.init (2 * jobs) Fun.id)));
+  let h = Obs.Metrics.histogram (Obs.Metrics.registry "test") "merged" in
+  Alcotest.(check int) "no lost observations" (2 * jobs * per_task)
+    (Obs.Metrics.histogram_count h);
+  let p50 = Obs.Metrics.quantile h 0.5 in
+  Alcotest.(check bool) "merged median within observed range" true
+    (p50 >= 0.001 && p50 <= 2.0)
+
+(* ---- Prometheus exposition -------------------------------------------------- *)
+
+let prom_name_legal name =
+  name <> ""
+  && (match name.[0] with
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+     | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       name
+
+let test_prometheus_exposition () =
+  Obs.Metrics.reset ();
+  Fun.protect ~finally:Obs.Metrics.reset @@ fun () ->
+  let reg = Obs.Metrics.registry "test" in
+  (* a name needing sanitization and a label value needing escaping *)
+  Obs.Metrics.add (Obs.Metrics.counter reg "weird.name-1") 3.;
+  Obs.Metrics.set
+    (Obs.Metrics.gauge ~labels:[ ("k", "a\"b\\c\nd") ] reg "labeled")
+    1.5;
+  let h = Obs.Metrics.histogram reg "lat" in
+  List.iter (Obs.Metrics.observe h) [ 0.002; 0.004; 0.5 ];
+  let out = Obs.Metrics.to_prometheus () in
+  let lines = String.split_on_char '\n' out in
+  (* every sample line: legal metric name, optional labels, numeric value *)
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' then begin
+        let name_end =
+          match (String.index_opt line '{', String.index_opt line ' ') with
+          | Some b, Some sp -> min b sp
+          | Some b, None -> b
+          | None, Some sp -> sp
+          | None, None -> String.length line
+        in
+        let name = String.sub line 0 name_end in
+        Alcotest.(check bool)
+          (Printf.sprintf "legal metric name %S" name)
+          true (prom_name_legal name);
+        let value_part =
+          match String.rindex_opt line ' ' with
+          | Some sp -> String.sub line (sp + 1) (String.length line - sp - 1)
+          | None -> ""
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "numeric value in %S" line)
+          true
+          (value_part = "+Inf" || value_part = "NaN"
+          || float_of_string_opt value_part <> None)
+      end)
+    lines;
+  (* sanitized name, escaped label value *)
+  Alcotest.(check bool) "sanitized metric name" true
+    (contains ~needle:"scalehls_test_weird_name_1 3" out);
+  Alcotest.(check bool) "escaped label value" true
+    (contains ~needle:"scalehls_test_labeled{k=\"a\\\"b\\\\c\\nd\"} 1.5" out);
+  (* histogram: cumulative buckets ending in +Inf == count, sum/count and
+     quantile gauges present *)
+  let bucket_counts =
+    List.filter_map
+      (fun line ->
+        if
+          String.length line > 0 && line.[0] <> '#'
+          && contains ~needle:"scalehls_test_lat_bucket{" line
+        then
+          match String.rindex_opt line ' ' with
+          | Some sp ->
+              float_of_string_opt
+                (String.sub line (sp + 1) (String.length line - sp - 1))
+          | None -> None
+        else None)
+      lines
+  in
+  Alcotest.(check bool) "has bucket lines" true (List.length bucket_counts > 1);
+  ignore
+    (List.fold_left
+       (fun prev c ->
+         Alcotest.(check bool) "cumulative buckets nondecreasing" true (c >= prev);
+         c)
+       0. bucket_counts);
+  Alcotest.(check (float 1e-9)) "last bucket is the count" 3.
+    (List.nth bucket_counts (List.length bucket_counts - 1));
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains ~needle out))
+    [
+      "# TYPE scalehls_test_lat histogram";
+      "le=\"+Inf\"";
+      "scalehls_test_lat_sum";
+      "scalehls_test_lat_count 3";
+      "scalehls_test_lat_p50";
+      "scalehls_test_lat_p99";
+    ];
+  (* deterministic: a second scrape of unchanged state is identical *)
+  Alcotest.(check string) "deterministic output" out (Obs.Metrics.to_prometheus ())
+
+(* ---- Crash-safe exports ------------------------------------------------------ *)
+
+let test_write_atomic () =
+  let path = Filename.temp_file "obs_atomic" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Obs.Metrics.write_atomic path (fun oc -> output_string oc "first\n");
+      Alcotest.(check bool) "no tmp file left" false
+        (Sys.file_exists (path ^ ".tmp"));
+      (* a crash mid-write must leave the previous content intact *)
+      (try
+         Obs.Metrics.write_atomic path (fun oc ->
+             output_string oc "partial";
+             failwith "disk full")
+       with Failure _ -> ());
+      let ic = open_in path in
+      let content = input_line ic in
+      close_in ic;
+      Alcotest.(check string) "old content survives a failed write" "first" content;
+      Alcotest.(check bool) "failed write removes its tmp" false
+        (Sys.file_exists (path ^ ".tmp")))
+
+(* ---- Search-quality event log ------------------------------------------------ *)
+
+let test_events_roundtrip () =
+  let path = Filename.temp_file "obs_events" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Events.close ();
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove path;
+      (* disabled: emit is a no-op and must not evaluate the field thunk *)
+      Obs.Events.emit "ghost" (fun () -> Alcotest.fail "thunk forced while disabled");
+      Obs.Events.configure path;
+      Obs.Events.emit "a" (fun () -> [ ("x", Obs.Json.Int 1) ]);
+      Obs.Events.emit "b" (fun () -> [ ("y", Obs.Json.String "two") ]);
+      Obs.Events.close ();
+      Obs.Events.emit "ghost" (fun () -> Alcotest.fail "thunk forced after close");
+      match Obs.Analyze.parse_jsonl path with
+      | Error msg -> Alcotest.failf "parse failed: %s" msg
+      | Ok rows ->
+          Alcotest.(check int) "two events" 2 (List.length rows);
+          List.iteri
+            (fun i row ->
+              (match Obs.Json.member "seq" row with
+              | Some (Obs.Json.Int s) -> Alcotest.(check int) "seq" i s
+              | _ -> Alcotest.fail "missing seq");
+              match Obs.Json.member "ts_s" row with
+              | Some j when Obs.Json.to_float_opt j <> None ->
+                  Alcotest.(check bool) "ts_s >= 0" true
+                    (Option.get (Obs.Json.to_float_opt j) >= 0.)
+              | _ -> Alcotest.fail "missing ts_s")
+            rows;
+          (* appending after reopen accumulates (daemon restart semantics) *)
+          Obs.Events.configure path;
+          Obs.Events.emit "c" (fun () -> []);
+          Obs.Events.close ();
+          (match Obs.Analyze.parse_jsonl path with
+          | Ok rows' -> Alcotest.(check int) "append mode" 3 (List.length rows')
+          | Error msg -> Alcotest.failf "reparse failed: %s" msg);
+          (* a corrupt line is a hard error, never skipped *)
+          let oc = open_out_gen [ Open_append ] 0o644 path in
+          output_string oc "{broken\n";
+          close_out oc;
+          match Obs.Analyze.parse_jsonl path with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "accepted a corrupt event line")
+
+(* ---- Analyzer ----------------------------------------------------------------- *)
+
+let test_analyze_hv_properties () =
+  let hv = Obs.Analyze.log_hv2 ~ref_latency:1000 ~ref_area:16 in
+  Alcotest.(check (float 1e-12)) "empty frontier" 0. (hv []);
+  Alcotest.(check (float 1e-12)) "point at the reference contributes nothing" 0.
+    (hv [ (1000, 8) ]);
+  Alcotest.(check (float 1e-12)) "point beyond the area budget contributes nothing"
+    0.
+    (hv [ (10, 16) ]);
+  let one = hv [ (10, 8) ] in
+  let two = hv [ (10, 8); (100, 4) ] in
+  Alcotest.(check bool) "positive volume" true (one > 0.);
+  Alcotest.(check bool) "extending the frontier adds volume" true (two > one)
+
+(* The acceptance link: the HV timeline scalehls-report reconstructs from the
+   event log must end at exactly the engine's own hypervolume of the final
+   frontier, given the same reference point. *)
+let test_analyze_hv_matches_dse () =
+  let ctx = Ir.Ctx.create () in
+  let kernel = Models.Polybench.of_name "gemm" in
+  let m = Pipeline.compile_c ctx (Models.Polybench.source kernel ~n:4) in
+  let path = Filename.temp_file "obs_dse_events" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Events.close ();
+      Obs.Metrics.reset ();
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove path;
+      Obs.Events.configure path;
+      let r =
+        Dse.run ~samples:4 ~iterations:6 ~seed:1 ctx m ~top:"gemm"
+          ~platform:Vhls.Platform.xc7z020
+      in
+      Obs.Events.close ();
+      let ref_latency = 4096 and ref_area = Vhls.Platform.xc7z020.Vhls.Platform.dsp in
+      let engine_hv = Dse.log_hypervolume ~ref_latency ~ref_area r.Dse.pareto in
+      match Obs.Analyze.parse_jsonl path with
+      | Error msg -> Alcotest.failf "parse failed: %s" msg
+      | Ok rows -> (
+          match Obs.Analyze.jobs_of_events ~ref_latency ~ref_area rows with
+          | [ jt ] ->
+              Alcotest.(check (float 1e-9))
+                "report HV == engine HV" engine_hv
+                (Obs.Analyze.final_hv jt);
+              Alcotest.(check int) "explored count" r.Dse.explored
+                jt.Obs.Analyze.jt_explored;
+              Alcotest.(check bool) "monotone HV curve" true
+                (let hvs = List.map (fun rd -> rd.Obs.Analyze.rd_hv) jt.Obs.Analyze.jt_rounds in
+                 List.for_all2 (fun a b -> b >= a -. 1e-12)
+                   (List.filteri (fun i _ -> i < List.length hvs - 1) hvs)
+                   (List.tl hvs))
+          | jts -> Alcotest.failf "expected one job, got %d" (List.length jts)))
+
 let suite =
   ( "obs",
     [
@@ -454,4 +792,15 @@ let suite =
       Alcotest.test_case "pass timing report aggregation" `Quick test_pp_timings_aggregation;
       Alcotest.test_case "traced DSE runs" `Quick test_traced_dse;
       Alcotest.test_case "traced DSE records evaluate spans" `Quick test_traced_dse_events;
+      Alcotest.test_case "trace ring cap and drop accounting" `Quick test_trace_ring_cap;
+      Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+      Alcotest.test_case "histogram merge across domains" `Quick
+        test_histogram_cross_domain_merge;
+      Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
+      Alcotest.test_case "atomic export writes" `Quick test_write_atomic;
+      Alcotest.test_case "events log roundtrip" `Quick test_events_roundtrip;
+      Alcotest.test_case "analyzer hypervolume properties" `Quick
+        test_analyze_hv_properties;
+      Alcotest.test_case "report HV matches engine HV" `Quick
+        test_analyze_hv_matches_dse;
     ] )
