@@ -13,7 +13,7 @@
      fig7        Figure 7 — DNN ablation (D, Ln+D, Gn+L7+D)
      estimator   QoR-estimator vs virtual-tool cross-validation
      dse_ablation  neighbor-traversing DSE vs random sampling
-     dse_bench   parallel vs sequential DSE engine -> BENCH_dse.json
+     dse_bench   parallel-scaling sweep (-j 1..cores) vs sequential DSE -> BENCH_dse.json
      micro       Bechamel micro-benchmarks of the compiler
 
    Flags: --budget N scales evaluation budgets, --size/--max-size the problem
@@ -306,10 +306,12 @@ let dse_ablation ~budget () =
 (* ---- Parallel DSE bench (BENCH_dse.json) ----------------------------------------------- *)
 
 (* Measures the parallel, memoizing DSE engine against the sequential
-   baseline on one kernel, verifies that both arms return the identical
-   Pareto frontier (the engine's determinism guarantee), runs a
-   symbolic-vs-materialized evaluation arm over the same seed and space, and
-   records the perf trajectory in machine-readable BENCH_dse.json. *)
+   baseline on one kernel — sweeping every worker count from 2 up to the
+   machine's cores (or the pinned --jobs arm) and verifying that every arm
+   returns the identical Pareto frontier (the async executor's in-order
+   commit guarantee) — then runs a symbolic-vs-materialized evaluation arm
+   over the same seed and space, and records the perf trajectory in
+   machine-readable BENCH_dse.json. *)
 let dse_bench ?(jobs = 0) ~size ~budget () =
   header (Printf.sprintf "Parallel DSE bench (gemm, size %d)" size);
   let kernel = Models.Polybench.Gemm in
@@ -331,17 +333,35 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
      domain overhead: its speedup is meaningless noise (<1x), so skip it and
      mark the record instead of publishing a misleading slowdown. *)
   let parallel_skipped = (if jobs = 0 then cores else jobs) <= 1 in
-  let rn, tn = if parallel_skipped then (r1, t1) else arm ~jobs () in
+  (* Scaling sweep: with no --jobs pin, measure every worker count from 2 up
+     to the machine's core count; a pinned --jobs N measures that single arm.
+     Each arm must reproduce the sequential frontier bit-for-bit — the async
+     executor's in-order commit makes -j N a pure throughput knob. *)
+  let sweep_jobs =
+    if parallel_skipped then []
+    else if jobs > 0 then [ jobs ]
+    else List.init (cores - 1) (fun i -> i + 2)
+  in
+  let scaling = List.map (fun j -> let r, t = arm ~jobs:j () in (j, r, t)) sweep_jobs in
+  let rn, tn = match List.rev scaling with (_, r, t) :: _ -> (r, t) | [] -> (r1, t1) in
   let jobs_eff = rn.Dse.stats.Dse.jobs in
-  let frontier_match = frontier_sig r1 = frontier_sig rn && r1.Dse.explored = rn.Dse.explored in
+  let arm_match r = frontier_sig r1 = frontier_sig r && r1.Dse.explored = r.Dse.explored in
+  let frontier_match = List.for_all (fun (_, r, _) -> arm_match r) scaling in
   let pps r t = float_of_int r.Dse.explored /. Float.max 1e-9 t in
   Fmt.pr "sequential: %d points in %5.2fs (%.1f points/s)@." r1.Dse.explored t1 (pps r1 t1);
   if parallel_skipped then
     Fmt.pr "parallel  : skipped (single core available — speedup would only measure domain overhead)@."
   else begin
-    Fmt.pr "parallel  : %d points in %5.2fs (%.1f points/s, %d workers)@." rn.Dse.explored
-      tn (pps rn tn) jobs_eff;
-    Fmt.pr "speedup   : %.2fx   frontier match: %b@." (t1 /. Float.max 1e-9 tn) frontier_match
+    List.iter
+      (fun (j, r, t) ->
+        Fmt.pr "parallel  : -j %d: %d points in %5.2fs (%.1f points/s, %.2fx, frontier match: %b)@."
+          j r.Dse.explored t (pps r t)
+          (t1 /. Float.max 1e-9 t)
+          (arm_match r))
+      scaling;
+    Fmt.pr "speedup   : %.2fx at -j %d   frontier match: %b@."
+      (t1 /. Float.max 1e-9 tn)
+      jobs_eff frontier_match
   end;
   Fmt.pr "pre-cache : %d hits / %d misses; eval cache: %d hits / %d misses (%.0f%% hit rate)@."
     rn.Dse.stats.Dse.pre_hits rn.Dse.stats.Dse.pre_misses rn.Dse.stats.Dse.cache_hits
@@ -495,6 +515,23 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
           jobs_eff tn rn.Dse.explored (pps rn tn),
         Printf.sprintf "%.3f" (t1 /. Float.max 1e-9 tn) )
   in
+  (* The full measured curve, -j 1 included, so downstream tooling can plot
+     scaling without re-deriving it from the headline fields. *)
+  let scaling_json =
+    if parallel_skipped then "null"
+    else
+      "[ "
+      ^ String.concat ",\n               "
+          (List.map
+             (fun (j, r, t) ->
+               Printf.sprintf
+                 {|{ "jobs": %d, "wall_s": %.3f, "points": %d, "points_per_sec": %.2f, "speedup": %.3f, "frontier_match": %b }|}
+                 j t r.Dse.explored (pps r t)
+                 (t1 /. Float.max 1e-9 t)
+                 (arm_match r))
+             ((1, r1, t1) :: scaling))
+      ^ " ]"
+  in
   let profile_json =
     String.concat ", "
       (List.map
@@ -526,6 +563,7 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
   "parallel": %s,
   "parallel_skipped": %b,
   "speedup": %s,
+  "scaling": %s,
   "frontier_match": %b,
   "cache": { "pre_hits": %d, "pre_misses": %d, "eval_hits": %d, "eval_misses": %d,
              "eval_hit_rate": %.4f, "est_memo_hits": %d, "est_memo_misses": %d,
@@ -557,7 +595,8 @@ let dse_bench ?(jobs = 0) ~size ~budget () =
 |}
     (Models.Polybench.name kernel)
     size samples iterations cores t1 r1.Dse.explored (pps r1 t1)
-    (fst parallel_json) parallel_skipped (snd parallel_json) frontier_match
+    (fst parallel_json) parallel_skipped (snd parallel_json) scaling_json
+    frontier_match
     rn.Dse.stats.Dse.pre_hits rn.Dse.stats.Dse.pre_misses
     rn.Dse.stats.Dse.cache_hits rn.Dse.stats.Dse.cache_misses
     (Dse.hit_rate rn.Dse.stats.Dse.cache_hits rn.Dse.stats.Dse.cache_misses)
@@ -648,9 +687,9 @@ let () =
   if all || has "fig7" then fig7 ();
   if all || has "estimator" then estimator_validation ();
   if all || has "dse_ablation" then dse_ablation ~budget ();
-  (* dse_bench: an explicit --jobs N selects the parallel arm's worker count;
-     without the flag it defaults to one worker per core (and skips the
-     parallel arm on single-core hosts). *)
+  (* dse_bench: an explicit --jobs N pins the sweep to that single parallel
+     arm; without the flag it sweeps -j 2..cores (and skips the parallel
+     sweep entirely on single-core hosts, recording explicit nulls). *)
   if all || has "dse_bench" then
     dse_bench
       ~jobs:(if has "--jobs" then jobs else 0)

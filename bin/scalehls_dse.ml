@@ -67,7 +67,7 @@ let print_remote_result j =
   0
 
 let run_remote socket input kernel size top platform samples iterations seed
-    symbolic strategy =
+    symbolic strategy window =
   let module Json = Obs.Json in
   (* After the result, if this client is tracing, pull the daemon's spans for
      our job and merge them into the local trace file (under their own pid),
@@ -88,7 +88,15 @@ let run_remote socket input kernel size top platform samples iterations seed
         exit 2
   in
   let config =
-    { Serve.Protocol.samples; iterations; seed; symbolic; platform; strategy }
+    {
+      Serve.Protocol.samples;
+      iterations;
+      seed;
+      symbolic;
+      platform;
+      strategy;
+      window;
+    }
   in
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.connect fd (Unix.ADDR_UNIX socket)
@@ -167,12 +175,12 @@ let run_remote socket input kernel size top platform samples iterations seed
   Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ()) loop
 
 let run input kernel size top platform samples iterations seed jobs symbolic
-    strategy profile emit remote trace metrics events =
+    strategy window profile emit remote trace metrics events =
   Obs_flags.with_obs ~events ~trace ~metrics @@ fun () ->
   match remote with
   | Some socket ->
       run_remote socket input kernel size top platform samples iterations seed
-        symbolic strategy
+        symbolic strategy window
   | None ->
   let ctx = Ir.Ctx.create () in
   let src, top =
@@ -203,7 +211,7 @@ let run input kernel size top platform samples iterations seed jobs symbolic
   let m = Pipeline.compile_c ctx src in
   let r, dt =
     Obs.Clock.time_s (fun () ->
-        Dse.run ~samples ~iterations ~seed ~jobs ~symbolic
+        Dse.run ~samples ~iterations ~seed ~jobs ~symbolic ~window
           ~strategy:strategy_impl ctx m ~top ~platform)
   in
   Fmt.pr "explored %d design points in %.2fs (%.1f points/s, %d worker%s)@."
@@ -309,6 +317,20 @@ let jobs =
           "Worker domains for parallel point evaluation (1 = sequential, 0 = \
            one per core). The result is identical for any value: same seed, \
            same frontier.")
+let window =
+  Arg.(
+    value & opt int Scalehls.Dse.default_window
+    & info [ "window" ] ~docv:"N"
+        ~doc:
+          "In-flight evaluation window of the asynchronous executor: the \
+           strategy proposes up to $(docv) points ahead while results commit \
+           strictly in order, so the frontier is a pure function of \
+           (--seed, --window) — independent of $(b,--jobs) and worker \
+           timing. Larger windows keep more workers busy; $(b,0) removes \
+           the bound and restores the legacy batch-synchronous rounds. \
+           Changing the window (like changing the seed) changes the search \
+           trajectory.")
+
 let symbolic =
   Term.app (Term.const not)
     Arg.(
@@ -361,7 +383,7 @@ let cmd =
   Cmd.v (Cmd.info "scalehls-dse" ~doc)
     Term.(
       const run $ input $ kernel $ size $ top $ platform $ samples $ iterations
-      $ seed $ jobs $ symbolic $ strategy $ profile $ emit $ remote
+      $ seed $ jobs $ symbolic $ strategy $ window $ profile $ emit $ remote
       $ Obs_flags.trace $ Obs_flags.metrics $ Obs_flags.events)
 
 let () = exit (Cmd.eval' cmd)

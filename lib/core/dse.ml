@@ -978,7 +978,9 @@ let record_metrics (s : stats) explored =
   set (gauge reg "jobs") (float_of_int s.jobs);
   List.iter
     (fun (i, f) ->
-      set (gauge ~labels:[ ("worker", string_of_int i) ] reg "worker.busy_fraction") f)
+      let worker = [ ("worker", string_of_int i) ] in
+      set (gauge ~labels:worker reg "worker.busy_fraction") f;
+      set (gauge ~labels:worker reg "worker.idle_fraction") (1. -. f))
     s.worker_busy;
   List.iter
     (fun (stage, secs) -> add (counter reg ("stage_seconds." ^ stage)) secs)
@@ -986,10 +988,35 @@ let record_metrics (s : stats) explored =
 
 (* ---- The engine -------------------------------------------------------------------- *)
 
+(** Default in-flight window of the asynchronous executor (see [?window] on
+    {!run}). Kept equal to the CLI/bench/protocol defaults so a local run, a
+    remote run and the benchmark replay the same trajectory. *)
+let default_window = 8
+
+(* One in-flight slot of the executor's reorder buffer: a proposal that
+   resolved warm from the eval cache at admission time, or a fresh
+   evaluation submitted to the worker pool (identified by its stream task
+   id). Both occupy a window slot, so warm and cold runs admit and commit
+   on the same schedule. *)
+type rob_entry =
+  | Rob_cached of point * evaluated option
+  | Rob_fresh of (int64 * int list * int list * int) * point * int
+
 (** Run the DSE: [samples] initial random points, then up to [iterations]
-    neighbor-traversal evaluations. Deterministic for a given [seed],
-    independently of [jobs] ([jobs <= 0] means one worker per core): all
-    search decisions happen on the coordinator; workers only evaluate.
+    neighbor-traversal evaluations. Deterministic for a given
+    ([seed], [window]) pair, independently of [jobs] ([jobs <= 0] means one
+    worker per core): all search decisions happen on the coordinator;
+    workers only evaluate.
+
+    [window] bounds the in-flight evaluations of the asynchronous executor
+    (default {!default_window}). The strategy proposes ahead — admissions
+    refill the window as commits retire — and results commit strictly in
+    admission order, so the search trajectory is a pure function of
+    (seed, window): larger windows keep more workers busy between proposals
+    but let the strategy run further ahead of the frontier it proposes
+    against. [window = 0] removes the bound and recovers the legacy
+    batch-synchronous rounds (each proposal batch admits whole, then commits
+    as one chunk before the next propose).
 
     [jobs] is capped at [Domain.recommended_domain_count ()]: point
     evaluation allocates heavily on the shared major heap, and domains beyond
@@ -1003,12 +1030,15 @@ let record_metrics (s : stats) explored =
     entries present before a point is first proposed merge into the run as
     if freshly evaluated, in proposal order, so the frontier and explored
     count are bit-identical to a cold run; [?memos] shares the estimator's
-    band memo the same way. [?pool] runs batches on an external worker pool
-    (not shut down here) and [?batch_wrap] is called around every pool
-    submission, letting a scheduler interleave several concurrent searches
-    fairly at batch granularity. [?on_frontier] fires with the current
-    frontier and explored count after every traversal round (and once at
-    the end) — the streaming hook.
+    band memo the same way. [?pool] runs evaluations on an external worker
+    pool (not shut down here); [?batch_wrap] is called around every single
+    point evaluation, on the worker that runs it, letting a scheduler
+    account concurrent searches at single-eval granularity (fairness itself
+    lives in the pool's round-robin across streams); [?queue_wait] receives
+    each fresh evaluation's pool-queue latency in seconds, also on the
+    worker — both must be thread-safe when [jobs > 1]. [?on_frontier] fires
+    with the current frontier and explored count after every traversal
+    round (and once at the end) — the streaming hook.
 
     [?job] is the run's observability identity: it labels every [dse.*]
     trace span ([args.job]) and event-log line, so concurrent searches
@@ -1017,9 +1047,9 @@ let record_metrics (s : stats) explored =
     runs; services pass their own job id. Purely observational. *)
 let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
     ?(max_ii = 8) ?(heuristic_seeds = true) ?(jobs = 1) ?(symbolic = true)
-    ?(strategy = exhaustive) ?cache:cache_opt ?memos:memos_opt ?pool:pool_opt
-    ?(batch_wrap = fun f -> f ()) ?on_frontier ?job ctx m ~top ~platform :
-    result =
+    ?(window = default_window) ?(strategy = exhaustive) ?cache:cache_opt
+    ?memos:memos_opt ?pool:pool_opt ?(batch_wrap = fun f -> f ()) ?queue_wait
+    ?on_frontier ?job ctx m ~top ~platform : result =
   let frontier_track =
     (* Separate Chrome counter tracks per explicit job; the default track
        name is stable for single-search runs (and their tests). *)
@@ -1089,7 +1119,7 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
      outcome is a pure function of the (canonical) point. *)
   let eval_seconds = Obs.Metrics.histogram (Obs.Metrics.registry "dse") "evaluate_seconds" in
   let eval_rate = Obs.Metrics.window (Obs.Metrics.registry "dse") "points" in
-  let eval_one pt =
+  let eval_one ?tf_key pt =
     Obs.Trace.with_span_args ~cat:"dse" "dse.evaluate"
       ~args:
         [
@@ -1098,16 +1128,22 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
         ]
       (fun () ->
         let pre = preprocessed pt.lp pt.rvb in
-        (* [pt] is canonical and [pre_fps] was populated by [key_of] during
-           batch construction (strictly before workers run), so this read
-           never races a write. *)
+        (* Worker-side calls always receive [?tf_key] (derived from the eval
+           cache key at admission, on the coordinator): [pre_fps] is a plain
+           hashtable the coordinator keeps mutating while workers run, so
+           workers must not read it. The fallback below serves the one
+           coordinator-side call (the final best-module rebuild), which runs
+           with every worker drained. *)
         let tf_key =
-          let pre_fp =
-            match Hashtbl.find_opt pre_fps (pt.lp, pt.rvb) with
-            | Some f -> f
-            | None -> Fingerprint.op pre
-          in
-          (pre_fp, pt.perm, pt.tiles)
+          match tf_key with
+          | Some k -> k
+          | None ->
+              let pre_fp =
+                match Hashtbl.find_opt pre_fps (pt.lp, pt.rvb) with
+                | Some f -> f
+                | None -> Fingerprint.op pre
+              in
+              (pre_fp, pt.perm, pt.tiles)
         in
         let t = tally_zero () in
         let r, secs =
@@ -1188,82 +1224,149 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
         ("iterations", Obs.Json.Int iterations);
         ("seed", Obs.Json.Int seed);
         ("jobs", Obs.Json.Int jobs);
+        ("window", Obs.Json.Int window);
         ("dsp_budget", Obs.Json.Int platform.Platform.dsp);
         ("space", Obs.Json.Int (space_size s));
       ]);
-  (* Evaluate a batch of proposals: dedup within the batch, skip points this
-     run already merged (counted as cache hits), evaluate the rest on the
-     pool, and merge results in submission order — the merge order, not
-     worker scheduling, defines the engine's state. A point whose result is
-     already in a shared cache but not yet seen this run merges at its
-     proposal position exactly like a fresh evaluation, so warm runs replay
-     the cold run's state evolution bit-for-bit — and the strategy's
-     [observe] sees the identical (point, result) sequence either way. *)
-  let eval_batch pts =
-    let in_batch = Hashtbl.create 16 in
-    let items =
-      List.filter_map
-        (fun pt ->
-          let key, c = key_of pt in
-          if Hashtbl.mem in_batch key then None
-          else begin
-            Hashtbl.replace in_batch key ();
-            match Eval_cache.find_opt cache key with
-            | Some res when not (Hashtbl.mem seen key) ->
-                Hashtbl.replace seen key ();
-                Some (`Cached (c, res))
-            | Some _ -> None (* re-proposal within this run *)
-            | None ->
-                Hashtbl.replace seen key ();
-                Some (`Fresh (key, c))
-          end)
-        pts
-    in
-    let fresh =
-      List.filter_map (function `Fresh kc -> Some kc | `Cached _ -> None) items
-    in
-    let results =
-      if fresh = [] then []
-      else batch_wrap (fun () -> Parpool.map pool (fun (_, c) -> eval_one c) fresh)
-    in
-    let obs = ref [] in
-    let rec merge items results =
-      match (items, results) with
-      | [], [] -> ()
-      | `Cached (c, res) :: items', _ ->
+  (* ---- The windowed out-of-order executor ---------------------------------
+     Proposals flow through three stages:
+
+       proposal queue --admit--> in-flight window (ROB) --commit--> state
+
+     [admit] resolves one proposal against [seen] (re-proposals drop without
+     taking a slot) and the eval cache: a warm entry enters the reorder
+     buffer as [Rob_cached], a cold one is submitted to the pool as
+     [Rob_fresh]. Both occupy a window slot, so a warm run admits and
+     commits on exactly the cold run's schedule. Workers complete out of
+     order into the stream; [commit_upto] retires entries strictly in
+     admission order, merging each result into the engine state
+     ([explored], [evaluated], the eval cache, retained modules) and feeding
+     the strategy's [observe] — the commit order, not worker scheduling,
+     defines the engine's state, and the (point, result) sequence [observe]
+     sees is identical warm or cold.
+
+     Determinism contract: every commit is triggered by a deterministic
+     condition — the window filling during [pump_queue], the commit horizon
+     before a propose, or the final drain — never by a result merely being
+     available. A result that finishes early parks in the stream until its
+     turn, so the state at every propose/observe is a pure function of
+     (seed, window), independent of [jobs] and worker timing. *)
+  let stream = Parpool.stream ?on_wait:queue_wait pool in
+  let dse_reg = Obs.Metrics.registry "dse" in
+  let g_inflight = Obs.Metrics.gauge dse_reg "window.in_flight" in
+  let g_commitq = Obs.Metrics.gauge dse_reg "window.commit_queue" in
+  Obs.Metrics.set (Obs.Metrics.gauge dse_reg "window.size") (float_of_int window);
+  let pq : point Queue.t = Queue.create () in
+  let rob : rob_entry Queue.t = Queue.create () in
+  let admitted = ref 0 and committed = ref 0 in
+  let window_gauges () =
+    Obs.Metrics.set g_inflight (float_of_int (!admitted - !committed));
+    Obs.Metrics.set g_commitq (float_of_int (Parpool.completed stream))
+  in
+  let admit pt =
+    let key, c = key_of pt in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      (match Eval_cache.find_opt cache key with
+      | Some res -> Queue.add (Rob_cached (c, res)) rob
+      | None ->
+          let tf_key =
+            let fp, perm, tiles, _ = key in
+            (fp, perm, tiles)
+          in
+          let id =
+            Parpool.submit stream (fun () ->
+                batch_wrap (fun () -> eval_one ~tf_key c))
+          in
+          Queue.add (Rob_fresh (key, c, id)) rob);
+      incr admitted;
+      window_gauges ()
+    end
+  in
+  (* Retire reorder-buffer entries, in admission order, until [committed]
+     reaches [h]; everything committed here forms one [observe] chunk. A
+     fresh entry whose result is not yet available blocks the coordinator —
+     that wait is the [dse.commit_stall] span (absent when results arrive
+     ahead of their turn). An evaluation failure re-raises on the
+     coordinator with the first-by-admission-order exception after in-flight
+     siblings drain (the stream empties, so the pool stays reusable) —
+     exactly the legacy batch contract. *)
+  let commit_upto h =
+    let chunk = ref [] in
+    while !committed < h do
+      (match Queue.pop rob with
+      | Rob_cached (c, res) ->
           incr explored;
           (match res with
           | Some ev -> evaluated := ev :: !evaluated
           | None -> ());
-          obs := (c, res) :: !obs;
-          merge items' results
-      | `Fresh (key, c) :: items', res :: results' ->
-          Eval_cache.add cache key (Option.map fst res);
-          incr explored;
-          (match res with
-          | Some (ev, m') ->
-              evaluated := ev :: !evaluated;
-              if ev.feasible then Hashtbl.replace modules c m'
-          | None -> ());
-          obs := (c, Option.map fst res) :: !obs;
-          merge items' results'
-      | `Fresh _ :: _, [] | [], _ :: _ -> assert false
-    in
-    merge items results;
-    strat.Strategy.observe (List.rev !obs)
+          chunk := (c, res) :: !chunk
+      | Rob_fresh (key, c, id) -> (
+          let r =
+            match Parpool.take stream id with
+            | Some r -> r
+            | None ->
+                Obs.Trace.with_span ~cat:"dse"
+                  ~args:[ ("job", Obs.Json.String job) ]
+                  "dse.commit_stall"
+                  (fun () -> Parpool.await_result stream id)
+          in
+          match r with
+          | Ok res ->
+              Eval_cache.add cache key (Option.map fst res);
+              incr explored;
+              (match res with
+              | Some (ev, m') ->
+                  evaluated := ev :: !evaluated;
+                  if ev.feasible then Hashtbl.replace modules c m'
+              | None -> ());
+              chunk := (c, Option.map fst res) :: !chunk
+          | Error (e, bt) ->
+              Queue.iter
+                (function
+                  | Rob_fresh (_, _, id') ->
+                      ignore (Parpool.await_result stream id')
+                  | Rob_cached _ -> ())
+                rob;
+              Queue.clear rob;
+              Printexc.raise_with_backtrace e bt));
+      incr committed
+    done;
+    window_gauges ();
+    if !chunk <> [] then strat.Strategy.observe (List.rev !chunk)
+  in
+  let cap_ok () = window = 0 || !admitted - !committed < window in
+  (* The deterministic commit horizon before a propose: everything but the
+     freshest [window - 1] admissions must have retired. Committing exactly
+     to the horizon — never beyond, even when more results are ready — is
+     what keeps the [jobs = 1] schedule (where every result is ready
+     instantly) identical to [jobs = N]. *)
+  let horizon () =
+    if window = 0 then !admitted else max !committed (!admitted - (window - 1))
+  in
+  (* Feed queued proposals into the window, retiring the oldest entry
+     whenever the window is full: the steady state slides one-admit /
+     one-commit, with workers up to [window] points ahead of the merge. *)
+  let pump_queue () =
+    while not (Queue.is_empty pq) do
+      if cap_ok () then admit (Queue.pop pq)
+      else commit_upto (!committed + 1)
+    done
   in
   (* Step 1: the strategy's seed batch (by default the identity/no-op point
      plus heuristic anchors plus random samples, {!seed_points}) — drawn up
-     front on the coordinator and evaluated as one parallel batch. *)
-  eval_batch (strat.Strategy.seed_batch ());
-  (* Steps 2-4: strategy-driven traversal. Each round the strategy proposes
-     the next batch against the current frontier; the engine truncates it to
-     the remaining budget, evaluates, merges, and feeds every result back
-     through [observe]. [iterations] budgets the post-seed evaluations. *)
+     front on the coordinator and admitted budget-free. *)
+  List.iter (fun pt -> Queue.add pt pq) (strat.Strategy.seed_batch ());
+  pump_queue ();
+  (* Steps 2-4: strategy-driven traversal. Each round the engine commits to
+     the horizon, snapshots the frontier, and asks the strategy for the next
+     proposals; the batch is truncated to the remaining budget and pumped
+     through the window. [iterations] budgets the post-seed proposals. *)
   let used = ref 0 in
   let continue_ = ref true in
-  (* Frontier extraction is coordinator-only and runs between batches, so
-     the unlocked [s_pareto] accumulation never races worker merges. *)
+  (* Frontier extraction is coordinator-only; workers may be evaluating
+     concurrently, but they only touch *other* fields of [instr] (under its
+     lock), so the unlocked single-writer [s_pareto] accumulation is safe. *)
   let pareto_now () =
     let t0 = Obs.Clock.now_ns () in
     let fr = pareto_frontier !evaluated in
@@ -1304,6 +1407,7 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
     match on_frontier with Some cb -> cb frontier !explored | None -> ()
   in
   while !continue_ && !used < iterations do
+    commit_upto (horizon ());
     let frontier = pareto_now () in
     sample_frontier frontier;
     prune_modules frontier;
@@ -1311,9 +1415,13 @@ let run ?(samples = 24) ?(iterations = 60) ?(seed = 42) ?(max_unroll = 256)
     | [] -> continue_ := false
     | ps ->
         let batch = List.filteri (fun i _ -> i < iterations - !used) ps in
-        eval_batch batch;
-        used := !used + List.length batch
+        used := !used + List.length batch;
+        List.iter (fun pt -> Queue.add pt pq) batch;
+        pump_queue ()
   done;
+  (* Final drain: retire everything still in flight, then snapshot the
+     frontier the run returns. *)
+  commit_upto !admitted;
   let frontier = pareto_now () in
   sample_frontier frontier;
   prune_modules frontier;

@@ -1,13 +1,34 @@
-(** A reusable fixed-size pool of worker domains for data-parallel batch
+(** A reusable fixed-size pool of worker domains for data-parallel point
     evaluation (stdlib [Domain]/[Mutex]/[Condition] only).
 
-    The pool owns [jobs] worker domains pulling closures off a shared queue;
-    {!map} submits one task per list element and blocks until the whole batch
-    is done, returning results in submission order (so callers that merge
-    results stay deterministic regardless of scheduling). A pool created with
-    [jobs <= 1] spawns no domains and runs every batch inline on the caller,
-    which makes the [jobs = 1] code path bit-for-bit identical to a plain
-    [List.map].
+    The pool owns [jobs] worker domains pulling closures off per-stream task
+    queues. Two client APIs share them:
+
+    {ul
+    {- The streaming API: {!stream} opens a submission stream, {!submit}
+       enqueues one task and returns its id immediately, workers complete
+       tasks {e out of order}, and {!await} ({!take} for the non-blocking
+       probe) collects one result by id. Nothing synchronizes the stream as
+       a whole — a caller that keeps submitting while collecting turns the
+       pool into a continuously-fed pipeline with no batch barrier.}
+    {- {!map}, implemented on a temporary stream: submits one task per list
+       element and blocks until the whole batch is done, returning results
+       in submission order (so callers that merge results stay
+       deterministic regardless of scheduling). If any task raised, the
+       first (by submission order) exception is re-raised on the caller
+       after the batch drains, so failure behavior is deterministic too.}}
+
+    Workers dequeue round-robin {e across} streams that have pending tasks:
+    every dequeue serves the next stream in rotation, so [k] concurrent
+    streams (e.g. [k] searches sharing a daemon's pool) interleave fairly at
+    single-task granularity — a stream with 100 queued tasks cannot starve a
+    stream with 2. Per-task queue latency (enqueue to dequeue) is reported
+    through the stream's [on_wait] callback, which runs on the worker that
+    dequeued the task and must therefore be thread-safe.
+
+    A pool created with [jobs <= 1] spawns no domains and runs every
+    submitted task inline on the caller at {!submit} time, which makes the
+    [jobs = 1] code path bit-for-bit identical to a plain [List.map].
 
     Every task execution is timed (monotonic clock) into a per-worker busy
     counter; {!worker_stats} and {!busy_fractions} expose per-worker
@@ -15,15 +36,28 @@
     engine's [worker.N.busy_fraction] metrics. Inline execution (a [jobs <= 1]
     pool, or a shut-down pool) accounts to worker slot 0.
 
-    [map] is not re-entrant: tasks must not themselves call [map] on the same
-    pool (they would deadlock waiting for workers that are all busy). *)
+    Tasks must not themselves submit to or map on the same pool (they would
+    deadlock waiting for workers that are all busy). *)
+
+(* One stream's worker-facing half: the monomorphic task queue the pool's
+   round-robin rotation serves. The typed result plumbing is captured inside
+   the queued closures. *)
+type sq = {
+  sq_tasks : (int64 * (unit -> unit)) Queue.t;  (** (enqueue time, run) *)
+  sq_on_wait : (float -> unit) option;
+  mutable sq_queued : bool;  (** currently registered in the rotation *)
+  mutable sq_running : int;  (** dequeued by a worker, not yet completed *)
+}
 
 type t = {
   jobs : int;
-  queue : (unit -> unit) Queue.t;
   lock : Mutex.t;
   work_available : Condition.t;
-  batch_done : Condition.t;
+  result_ready : Condition.t;
+      (** signalled whenever any stream's task completes *)
+  mutable rotation : sq list;
+      (** round-robin rotation; invariant: every listed stream has a
+          non-empty task queue *)
   mutable stopping : bool;
   mutable workers : unit Domain.t array;
   busy_ns : int64 Atomic.t array;  (** per-worker cumulative task time *)
@@ -40,20 +74,39 @@ let add_busy pool slot ns =
   in
   go ()
 
+(* Pop the next task in stream rotation order. Caller holds the lock. The
+   served stream moves to the back of the rotation (or leaves it when
+   emptied), so successive dequeues visit streams fairly regardless of how
+   many tasks each has queued. *)
+let dequeue pool =
+  match pool.rotation with
+  | [] -> None
+  | sq :: rest ->
+      let enq_ns, task = Queue.pop sq.sq_tasks in
+      sq.sq_running <- sq.sq_running + 1;
+      if Queue.is_empty sq.sq_tasks then begin
+        sq.sq_queued <- false;
+        pool.rotation <- rest
+      end
+      else pool.rotation <- rest @ [ sq ];
+      Some (enq_ns, sq, task)
+
 let rec worker_loop pool slot =
   Mutex.lock pool.lock;
-  while Queue.is_empty pool.queue && not pool.stopping do
+  while pool.rotation = [] && not pool.stopping do
     Condition.wait pool.work_available pool.lock
   done;
-  if Queue.is_empty pool.queue then Mutex.unlock pool.lock (* stopping: exit *)
-  else begin
-    let task = Queue.pop pool.queue in
-    Mutex.unlock pool.lock;
-    let t0 = Obs.Clock.now_ns () in
-    task ();
-    add_busy pool slot (Int64.sub (Obs.Clock.now_ns ()) t0);
-    worker_loop pool slot
-  end
+  match dequeue pool with
+  | None -> Mutex.unlock pool.lock (* stopping: exit *)
+  | Some (enq_ns, sq, task) ->
+      Mutex.unlock pool.lock;
+      let t0 = Obs.Clock.now_ns () in
+      (match sq.sq_on_wait with
+      | Some cb -> cb (Obs.Clock.ns_to_s (Int64.sub t0 enq_ns))
+      | None -> ());
+      task ();
+      add_busy pool slot (Int64.sub (Obs.Clock.now_ns ()) t0);
+      worker_loop pool slot
 
 (** [create ~jobs ()] builds a pool of [jobs] worker domains. [jobs <= 0]
     means "one per core" ([Domain.recommended_domain_count]). *)
@@ -62,10 +115,10 @@ let create ?(jobs = 1) () =
   let pool =
     {
       jobs;
-      queue = Queue.create ();
       lock = Mutex.create ();
       work_available = Condition.create ();
-      batch_done = Condition.create ();
+      result_ready = Condition.create ();
+      rotation = [];
       stopping = false;
       workers = [||];
       busy_ns = Array.init (max 1 jobs) (fun _ -> Atomic.make 0L);
@@ -96,10 +149,139 @@ let create ?(jobs = 1) () =
   end;
   pool
 
+(* ---- The streaming API ------------------------------------------------------ *)
+
+type 'a stream = {
+  st_pool : t;
+  st_sq : sq;
+  st_results : (int, ('a, exn * Printexc.raw_backtrace) result) Hashtbl.t;
+      (** completed, not yet collected; guarded by the pool lock *)
+  mutable st_next_id : int;
+}
+
+(** Open a submission stream on the pool. Streams are lightweight — a
+    service opens one per search, a batch caller one per batch. [on_wait]
+    (optional) receives every task's queue latency in seconds (enqueue to
+    worker dequeue); it runs on the dequeuing worker, so it must be
+    thread-safe and cheap. *)
+let stream ?on_wait pool =
+  {
+    st_pool = pool;
+    st_sq =
+      {
+        sq_tasks = Queue.create ();
+        sq_on_wait = on_wait;
+        sq_queued = false;
+        sq_running = 0;
+      };
+    st_results = Hashtbl.create 32;
+    st_next_id = 0;
+  }
+
+(** Submit one task; returns its id immediately (workers complete tasks out
+    of order — collect with {!await}/{!take}). On a pool with no workers
+    ([jobs <= 1], or shut down) the task runs inline here, on the caller,
+    before [submit] returns: exceptions are captured into the result exactly
+    as a worker would, so the failure surface is identical across pool
+    shapes. *)
+let submit st f =
+  let pool = st.st_pool in
+  let id = st.st_next_id in
+  st.st_next_id <- id + 1;
+  let run () =
+    let r =
+      try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock pool.lock;
+    Hashtbl.replace st.st_results id r;
+    st.st_sq.sq_running <- st.st_sq.sq_running - 1;
+    Condition.broadcast pool.result_ready;
+    Mutex.unlock pool.lock
+  in
+  if Array.length pool.workers = 0 then begin
+    (match st.st_sq.sq_on_wait with Some cb -> cb 0. | None -> ());
+    let t0 = Obs.Clock.now_ns () in
+    st.st_sq.sq_running <- st.st_sq.sq_running + 1;
+    run ();
+    add_busy pool 0 (Int64.sub (Obs.Clock.now_ns ()) t0)
+  end
+  else begin
+    Mutex.lock pool.lock;
+    Queue.add (Obs.Clock.now_ns (), run) st.st_sq.sq_tasks;
+    if not st.st_sq.sq_queued then begin
+      st.st_sq.sq_queued <- true;
+      pool.rotation <- pool.rotation @ [ st.st_sq ]
+    end;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.lock
+  end;
+  id
+
+(** Non-blocking probe: collect task [id]'s result if it has completed
+    ([None] = still queued or running). A returned result is consumed —
+    asking again returns [None]. *)
+let take st id =
+  let pool = st.st_pool in
+  Mutex.lock pool.lock;
+  let r = Hashtbl.find_opt st.st_results id in
+  if r <> None then Hashtbl.remove st.st_results id;
+  Mutex.unlock pool.lock;
+  r
+
+(** Blocking collect of task [id]'s result, as a [result] (the [Error]
+    carries the task's exception and its backtrace). Consumes the result. *)
+let await_result st id =
+  let pool = st.st_pool in
+  Mutex.lock pool.lock;
+  while not (Hashtbl.mem st.st_results id) do
+    Condition.wait pool.result_ready pool.lock
+  done;
+  let r = Hashtbl.find st.st_results id in
+  Hashtbl.remove st.st_results id;
+  Mutex.unlock pool.lock;
+  r
+
+(** Blocking collect of task [id]: returns its value or re-raises its
+    exception (with the original backtrace). Consumes the result. *)
+let await st id =
+  match await_result st id with
+  | Ok v -> v
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+
+(** Completed-but-uncollected results parked in the stream — the engine's
+    commit-queue depth gauge. *)
+let completed st =
+  let pool = st.st_pool in
+  Mutex.lock pool.lock;
+  let n = Hashtbl.length st.st_results in
+  Mutex.unlock pool.lock;
+  n
+
+(** Tasks of [st] not yet completed (queued or running on a worker). *)
+let in_flight st =
+  let pool = st.st_pool in
+  Mutex.lock pool.lock;
+  let n = Queue.length st.st_sq.sq_tasks + st.st_sq.sq_running in
+  Mutex.unlock pool.lock;
+  n
+
+(** Tasks queued across all streams, waiting for a worker — the daemon's
+    point-granular queue depth. *)
+let queued pool =
+  Mutex.lock pool.lock;
+  let n =
+    List.fold_left (fun acc sq -> acc + Queue.length sq.sq_tasks) 0 pool.rotation
+  in
+  Mutex.unlock pool.lock;
+  n
+
+(* ---- Batch map (compatibility surface) -------------------------------------- *)
+
 (** Evaluate [f] over [xs], in parallel on the pool's workers. Results come
     back in submission order; if any task raised, the first (by submission
     order) exception is re-raised on the caller after the batch drains, so
-    failure behavior is deterministic too. *)
+    failure behavior is deterministic too. Implemented as a temporary
+    stream: submit everything, then await in submission order. *)
 let map pool f xs =
   if Array.length pool.workers = 0 then begin
     let t0 = Obs.Clock.now_ns () in
@@ -111,35 +293,20 @@ let map pool f xs =
     match xs with
     | [] -> []
     | _ ->
-        let arr = Array.of_list xs in
-        let n = Array.length arr in
-        let out = Array.make n None in
-        let remaining = ref n in
-        Mutex.lock pool.lock;
-        Array.iteri
-          (fun i x ->
-            Queue.add
-              (fun () ->
-                let r = try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ()) in
-                Mutex.lock pool.lock;
-                out.(i) <- Some r;
-                decr remaining;
-                if !remaining = 0 then Condition.broadcast pool.batch_done;
-                Mutex.unlock pool.lock)
-              pool.queue)
-          arr;
-        Condition.broadcast pool.work_available;
-        while !remaining > 0 do
-          Condition.wait pool.batch_done pool.lock
-        done;
-        Mutex.unlock pool.lock;
-        Array.to_list
-          (Array.map
-             (function
-               | Some (Ok v) -> v
-               | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-               | None -> assert false)
-             out)
+        let st = stream pool in
+        let rec submit_all = function
+          | [] -> []
+          | x :: rest ->
+              let id = submit st (fun () -> f x) in
+              id :: submit_all rest
+        in
+        let ids = submit_all xs in
+        let results = List.map (fun id -> await_result st id) ids in
+        List.map
+          (function
+            | Ok v -> v
+            | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+          results
 
 (* ---- Utilization telemetry ------------------------------------------------- *)
 
@@ -162,7 +329,8 @@ let busy_fractions pool =
   List.map (fun (i, busy) -> (i, busy /. life)) (worker_stats pool)
 
 (** Shut the pool down: pending tasks are drained, then workers exit and are
-    joined. Mapping on a shut-down pool falls back to inline execution. *)
+    joined. Submitting to or mapping on a shut-down pool falls back to
+    inline execution. *)
 let shutdown pool =
   if Array.length pool.workers > 0 then begin
     Mutex.lock pool.lock;

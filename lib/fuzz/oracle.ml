@@ -232,6 +232,12 @@ let dse_symbolic_equiv ?(points = 6) ~seed m ~top : failure list =
     reraise_terminated e;
     [ fail "dse-symbolic" "crash: %s" (Printexc.to_string e) ]
 
+(** The window draw for the async-executor DSE oracles: derived from the
+    program seed (not a campaign RNG) so a corpus replay of the same seed
+    re-runs the identical window without recording it. Spans the legacy
+    batch rounds (0), small sliding windows, and the engine default. *)
+let fuzz_window seed = [| 0; 2; 5; Dse.default_window |].(abs seed land 3)
+
 (** The incremental band-delta estimator must be invisible: estimating a
     transformed module against a warm cross-point memo
     ({!Estimator.create_memos}) must equal the cold full re-estimation of
@@ -240,8 +246,14 @@ let dse_symbolic_equiv ?(points = 6) ~seed m ~top : failure list =
     on a transform-memo hit) must equal cold estimation of the sibling's own
     fully re-transformed module. The cold reference applies
     {!Dse.retarget_ii} first so both sides use the engine's
-    uniform-override II semantics. *)
-let dse_incremental ?(points = 4) ~seed m ~top : failure list =
+    uniform-override II semantics.
+
+    The second phase lifts the same property to the whole engine under the
+    async executor: two identical [Dse.run]s sharing one band memo — the
+    first cold, the second fully warm — must produce bit-identical
+    frontiers for a seed-derived window size ({!fuzz_window}; [window = 0]
+    re-checks the legacy batch rounds). *)
+let dse_incremental ?(points = 4) ?window ~seed m ~top : failure list =
   try
     let ctx = Ir.Ctx.of_op m in
     let space = Dse.build_space ctx m ~top in
@@ -284,6 +296,38 @@ let dse_incremental ?(points = 4) ~seed m ~top : failure list =
                     Estimator.pp_estimate sc
                   :: !fails)
     done;
+    (* Engine-level phase: warm band memo invisible through a full run. *)
+    let window =
+      match window with Some w -> w | None -> fuzz_window seed
+    in
+    let engine_memos = Estimator.create_memos () in
+    let engine_run () =
+      Dse.run ~samples:3 ~iterations:4 ~seed ~window ~memos:engine_memos
+        (Ir.Ctx.of_op m) m ~top ~platform:Vhls.Platform.xc7z020
+    in
+    let r_cold = engine_run () in
+    let r_warm = engine_run () in
+    let sig_of (r : Dse.result) =
+      List.map
+        (fun (e : Dse.evaluated) ->
+          (e.Dse.point, e.Dse.estimate.Estimator.latency, e.Dse.estimate))
+        r.Dse.pareto
+    in
+    if r_cold.Dse.explored <> r_warm.Dse.explored then
+      fails :=
+        fail "dse-incremental"
+          "engine (window %d): explored differs cold %d vs warm %d" window
+          r_cold.Dse.explored r_warm.Dse.explored
+        :: !fails;
+    if sig_of r_cold <> sig_of r_warm then
+      fails :=
+        fail "dse-incremental"
+          "engine (window %d): warm-memo frontier differs from cold (%d vs %d \
+           points)"
+          window
+          (List.length r_cold.Dse.pareto)
+          (List.length r_warm.Dse.pareto)
+        :: !fails;
     List.rev !fails
   with e ->
     reraise_terminated e;
@@ -297,15 +341,19 @@ let dse_incremental ?(points = 4) ~seed m ~top : failure list =
     some surrogate-frontier point, i.e. one whose latency and DSP usage are
     each at most (1+eps)x the exhaustive point's. An exhaustive frontier
     with no surrogate counterpart at all (surrogate found nothing feasible)
-    fails outright. Both runs are seeded and sequential, so a failure
-    replays exactly from the program seed. *)
+    fails outright. Both runs are seeded and sequential, with a seed-derived
+    executor window ({!fuzz_window}), so a failure replays exactly from the
+    program seed. *)
 let dse_strategy_frontier_consistent ?(samples = 4) ?(iterations = 6)
-    ?(eps = 0.25) ~seed m ~top : failure list =
+    ?(eps = 0.25) ?window ~seed m ~top : failure list =
   try
     let platform = Vhls.Platform.xc7z020 in
+    let window =
+      match window with Some w -> w | None -> fuzz_window seed
+    in
     let run strategy =
-      Dse.run ~samples ~iterations ~seed ~strategy (Ir.Ctx.of_op m) m ~top
-        ~platform
+      Dse.run ~samples ~iterations ~seed ~window ~strategy (Ir.Ctx.of_op m) m
+        ~top ~platform
     in
     let re = run Dse.exhaustive in
     let rs = run (Qor_ml.surrogate ()) in
@@ -349,12 +397,21 @@ let dse_strategy_frontier_consistent ?(samples = 4) ?(iterations = 6)
     [ fail "dse-strategy" "crash: %s" (Printexc.to_string e) ]
 
 (** A parallel DSE run must be bit-identical to the sequential one: same
-    explored count, same best point, same Pareto frontier. *)
-let dse_jobs_deterministic ?(samples = 4) ?(iterations = 6) ~seed m ~top : failure list =
+    explored count, same best point, same Pareto frontier. The default
+    [window] (16) deliberately exceeds this oracle's batch sizes at the
+    default budget, so every invocation exercises the async executor's
+    commit path with the whole batch in flight at once; [window = 0] checks
+    the legacy batch rounds instead. The pools are built explicitly so the
+    engine's cores clamp can't reduce the -j2 arm to -j1 on a 1-core
+    machine. *)
+let dse_jobs_deterministic ?(samples = 4) ?(iterations = 6) ?(window = 16)
+    ~seed m ~top : failure list =
   try
     let platform = Vhls.Platform.xc7z020 in
     let run jobs =
-      Dse.run ~samples ~iterations ~seed ~jobs (Ir.Ctx.of_op m) m ~top ~platform
+      Parpool.with_pool ~jobs (fun pool ->
+          Dse.run ~samples ~iterations ~seed ~window ~pool (Ir.Ctx.of_op m) m
+            ~top ~platform)
     in
     let r1 = run 1 in
     let r2 = run 2 in

@@ -42,6 +42,7 @@ type config = {
   symbolic : bool;
   platform : string;
   strategy : string;  (** search strategy name: "exhaustive" | "surrogate" *)
+  window : int;  (** executor in-flight window; 0 = legacy batch rounds *)
 }
 
 (* Defaults mirror the scalehls-dse CLI (not the engine's internal
@@ -54,6 +55,7 @@ let default_config =
     symbolic = true;
     platform = "xc7z020";
     strategy = "exhaustive";
+    window = Dse.default_window;
   }
 
 type request =
@@ -97,6 +99,7 @@ let config_of_json = function
         symbolic = bool "symbolic" default_config.symbolic;
         platform = str "platform" default_config.platform;
         strategy = str "strategy" default_config.strategy;
+        window = int "window" default_config.window;
       }
 
 (* ---- Client-side request builders (the [scalehls-dse --remote] mode) -------- *)
@@ -116,6 +119,7 @@ let config_to_json c =
       ("symbolic", Json.Bool c.symbolic);
       ("platform", Json.String c.platform);
       ("strategy", Json.String c.strategy);
+      ("window", Json.Int c.window);
     ]
 
 let search_request ~design ~config =

@@ -1,65 +1,50 @@
-(** Fair round-robin scheduling of concurrent searches onto one shared
-    worker pool.
+(** Point-granular accounting for concurrent searches sharing one worker
+    pool.
 
-    The DSE engine is batch-synchronous: each round submits one batch to the
-    {!Scalehls.Parpool} and blocks for the results. The scheduler exploits
-    exactly that grain — every search wraps its pool submissions in
-    {!with_turn} (via [Dse.run ~batch_wrap]), and turns are granted in FIFO
-    order of request. A search that just finished a batch re-queues behind
-    every other waiting search before its next one, so [k] concurrent
-    searches interleave round-robin at batch granularity: the pool is never
-    oversubscribed (one batch owns all workers at a time, keeping per-batch
-    wall time and worker utilization as in a solo run) and no search starves.
-    Searches, not points, are the unit of concurrency — matching the service
-    model where throughput comes from many independent requests. *)
+    The DSE engine is asynchronous: each search keeps a bounded window of
+    point evaluations in flight on its own {!Scalehls.Parpool} stream, and
+    the pool's workers dequeue round-robin {e across} streams — so [k]
+    concurrent searches already interleave fairly at single-eval
+    granularity, with no search able to monopolize the workers and no
+    scheduler lock on the submission path. What remains for the daemon is
+    accounting, which is this module: every evaluation runs inside
+    {!with_eval} (via [Dse.run ~batch_wrap]), which tags it with a
+    [serve.turn] trace span carrying the job identity (evals from different
+    jobs interleave on the same workers, so spans carry the identity; tids
+    do not) and counts concurrently-running evals; {!note_wait} (via
+    [Dse.run ~queue_wait]) lands every evaluation's pool-queue latency in
+    the [serve.turn_wait_seconds] histogram — the fair-share wait a point
+    experiences behind other jobs' points. *)
 
 type t = {
   lock : Mutex.t;
-  turn_free : Condition.t;
-  mutable waiting : int list;  (** ticket queue, FIFO (head holds the floor next) *)
-  mutable active : int option;  (** ticket currently holding the pool *)
-  mutable next_ticket : int;
-  mutable granted : int;  (** turns granted so far (telemetry) *)
+  mutable active : int;  (** evaluations running right now, across jobs *)
+  mutable granted : int;  (** evaluations started so far (telemetry) *)
 }
 
-let create () =
-  {
-    lock = Mutex.create ();
-    turn_free = Condition.create ();
-    waiting = [];
-    active = None;
-    next_ticket = 0;
-    granted = 0;
-  }
+let create () = { lock = Mutex.create (); active = 0; granted = 0 }
 
 let wait_seconds =
   Obs.Metrics.histogram (Obs.Metrics.registry "serve") "turn_wait_seconds"
 
-(** Run [f] while holding the pool: blocks until every earlier requester has
-    had its turn, runs [f], releases. Reentrant calls would self-deadlock —
-    the engine never nests batches. [?label] names the search in the
-    [serve.turn] trace span (jobs interleave on the same pool, so spans
-    carry the identity; tids do not); the time spent queued behind other
-    searches lands in the [serve.turn_wait_seconds] histogram either way. *)
-let with_turn ?label t f =
-  let t0 = Obs.Clock.now_ns () in
+(** Record one evaluation's pool-queue wait (seconds from submission to a
+    worker picking it up). Called on the dequeuing worker — thread-safe. *)
+let note_wait _t secs = Obs.Metrics.observe wait_seconds secs
+
+(** Run one point evaluation [f], counted and span-tagged. Runs on the pool
+    worker that dequeued the point; evaluations from any number of jobs
+    proceed concurrently — this deliberately excludes nothing (fairness
+    lives in the pool's cross-stream round-robin dequeue). [?label] names
+    the owning search in the [serve.turn] span. *)
+let with_eval ?label t f =
   Mutex.lock t.lock;
-  let ticket = t.next_ticket in
-  t.next_ticket <- ticket + 1;
-  t.waiting <- t.waiting @ [ ticket ];
-  while not (t.active = None && List.hd t.waiting = ticket) do
-    Condition.wait t.turn_free t.lock
-  done;
-  t.waiting <- List.tl t.waiting;
-  t.active <- Some ticket;
+  t.active <- t.active + 1;
   t.granted <- t.granted + 1;
   Mutex.unlock t.lock;
-  Obs.Metrics.observe wait_seconds (Obs.Clock.since_s t0);
   Fun.protect
     ~finally:(fun () ->
       Mutex.lock t.lock;
-      t.active <- None;
-      Condition.broadcast t.turn_free;
+      t.active <- t.active - 1;
       Mutex.unlock t.lock)
     (fun () ->
       Obs.Trace.with_span ~cat:"serve"
@@ -69,9 +54,9 @@ let with_turn ?label t f =
           | None -> [])
         "serve.turn" f)
 
-(** (waiting searches, a turn is active, turns granted so far). *)
+(** (evaluations running now, evaluations granted so far). *)
 let stats t =
   Mutex.lock t.lock;
-  let r = (List.length t.waiting, t.active <> None, t.granted) in
+  let r = (t.active, t.granted) in
   Mutex.unlock t.lock;
   r

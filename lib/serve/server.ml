@@ -3,20 +3,25 @@
 
     Concurrency model: every accepted connection gets a system thread that
     reads requests sequentially; a [search] request runs the full DSE on
-    that thread, submitting its evaluation batches to the one shared
-    {!Scalehls.Parpool} under the {!Scheduler}'s round-robin gate. Search
-    coordination (batch construction, Pareto maintenance) is cheap and
-    interleaves on the runtime lock; the evaluation work itself runs on the
-    pool's worker domains — so [k] concurrent client searches share the
-    machine fairly without oversubscribing it. Results stream back as they
-    form: one [frontier] line per traversal round, then the final [result].
+    that thread, streaming its point evaluations onto the one shared
+    {!Scalehls.Parpool}, whose workers dequeue round-robin across the
+    searches' streams — [k] concurrent client searches interleave at
+    single-eval granularity without oversubscribing the machine, with the
+    {!Scheduler} accounting each evaluation (turn spans, queue-wait
+    histogram). Search coordination (admission, in-order commit, Pareto
+    maintenance) is cheap and interleaves on the runtime lock; the
+    evaluation work itself runs on the pool's worker domains. Results
+    stream back as they form: one [frontier] line per traversal round,
+    then the final [result].
 
     State shared across requests: the {!Store} (per-platform evaluation
     caches + estimator band memos, disk-backed), checkpointed every
-    [checkpoint_every] seconds from the accept loop and once more on
-    graceful shutdown. {!stop} only flips an atomic — safe from a signal
-    handler — and the accept loop (select with a short timeout) notices it
-    within a beat, drains running searches, checkpoints, and returns. *)
+    [checkpoint_every] seconds from a dedicated background thread — never
+    the scheduling/accept path, so a large-store checkpoint cannot stall
+    job turns — and once more on graceful shutdown. {!stop} only flips an
+    atomic — safe from a signal handler — and the accept loop (select with
+    a short timeout) notices it within a beat, drains running searches,
+    checkpoints, and returns. *)
 
 open Scalehls
 module Json = Obs.Json
@@ -33,6 +38,7 @@ type t = {
   start_ns : int64;
   last_ckpt_ns : int64 Atomic.t;  (** completion time of the last checkpoint *)
   last_ckpt_duration_s : float Atomic.t;  (** [-1.] until a checkpoint ran *)
+  ckpt_in_progress : bool Atomic.t;  (** a [Store.save] is running right now *)
 }
 
 (* Refresh the "serve" registry's health gauges from the live server state.
@@ -45,14 +51,18 @@ let publish_gauges t =
     let open Obs.Metrics in
     let reg = registry "serve" in
     let queued, running, done_, failed = Jobs.counts t.registry in
-    let sched_waiting, sched_active, sched_granted = Scheduler.stats t.sched in
+    let evals_active, evals_granted = Scheduler.stats t.sched in
     set (gauge reg "jobs.queued") (float_of_int queued);
     set (gauge reg "jobs.in_flight") (float_of_int running);
     set (gauge reg "jobs.done") (float_of_int done_);
     set (gauge reg "jobs.failed") (float_of_int failed);
-    set (gauge reg "queue.depth") (float_of_int sched_waiting);
-    set (gauge reg "queue.batch_active") (if sched_active then 1. else 0.);
-    counter_set (counter reg "queue.batches_granted") (float_of_int sched_granted);
+    (* Point-granular queue: evaluations waiting for a worker, across all
+       concurrent searches' streams. *)
+    set (gauge reg "queue.depth") (float_of_int (Parpool.queued t.pool));
+    set (gauge reg "queue.evals_active") (float_of_int evals_active);
+    counter_set (counter reg "queue.evals_granted") (float_of_int evals_granted);
+    set (gauge reg "checkpoint_in_progress")
+      (if Atomic.get t.ckpt_in_progress then 1. else 0.);
     let evals, hits, misses = Store.eval_stats t.store in
     set (gauge reg "store.evals") (float_of_int evals);
     set (gauge reg "store.eval_hit_rate")
@@ -97,6 +107,7 @@ let create ~socket ?store_path ?(jobs = 0) ?(checkpoint_every = 60.)
       start_ns = now;
       last_ckpt_ns = Atomic.make now;
       last_ckpt_duration_s = Atomic.make (-1.);
+      ckpt_in_progress = Atomic.make false;
     }
   in
   Obs.Metrics.register_collector (fun () -> publish_gauges t);
@@ -113,17 +124,22 @@ let checkpoint_seconds =
 
 (* Every store checkpoint goes through here so age/duration telemetry can't
    drift from reality: times the save, stamps the completion, feeds the
-   duration histogram. *)
+   duration histogram. [ckpt_in_progress] brackets the save so [status] can
+   report a running checkpoint (periodic ones happen off-thread). *)
 let checkpoint t =
-  let records, secs =
-    Obs.Clock.time_s (fun () ->
-        Obs.Trace.with_span ~cat:"serve" "serve.checkpoint" (fun () ->
-            Store.save t.store))
-  in
-  Atomic.set t.last_ckpt_ns (Obs.Clock.now_ns ());
-  Atomic.set t.last_ckpt_duration_s secs;
-  Obs.Metrics.observe checkpoint_seconds secs;
-  records
+  Atomic.set t.ckpt_in_progress true;
+  Fun.protect
+    ~finally:(fun () -> Atomic.set t.ckpt_in_progress false)
+    (fun () ->
+      let records, secs =
+        Obs.Clock.time_s (fun () ->
+            Obs.Trace.with_span ~cat:"serve" "serve.checkpoint" (fun () ->
+                Store.save t.store))
+      in
+      Atomic.set t.last_ckpt_ns (Obs.Clock.now_ns ());
+      Atomic.set t.last_ckpt_duration_s secs;
+      Obs.Metrics.observe checkpoint_seconds secs;
+      records)
 
 let platform_of_name = function
   | "xc7z020" -> Some Vhls.Platform.xc7z020
@@ -132,7 +148,7 @@ let platform_of_name = function
 
 let status_json t =
   let queued, running, done_, failed = Jobs.counts t.registry in
-  let sched_waiting, sched_active, sched_granted = Scheduler.stats t.sched in
+  let evals_active, evals_granted = Scheduler.stats t.sched in
   Protocol.resp "status"
     [
       ( "queue",
@@ -142,9 +158,9 @@ let status_json t =
             ("running", Json.Int running);
             ("done", Json.Int done_);
             ("failed", Json.Int failed);
-            ("batches_waiting", Json.Int sched_waiting);
-            ("batch_active", Json.Bool sched_active);
-            ("batches_granted", Json.Int sched_granted);
+            ("evals_waiting", Json.Int (Parpool.queued t.pool));
+            ("evals_active", Json.Int evals_active);
+            ("evals_granted", Json.Int evals_granted);
           ] );
       ("jobs", Jobs.to_status_json t.registry);
       ("store", Store.to_status_json t.store);
@@ -161,6 +177,7 @@ let status_json t =
       ( "checkpoint_duration_s",
         let d = Atomic.get t.last_ckpt_duration_s in
         if d >= 0. then Json.Float d else Json.Null );
+      ("checkpoint_in_progress", Json.Bool (Atomic.get t.ckpt_in_progress));
       ("metrics", Obs.Metrics.snapshot ());
     ]
 
@@ -212,9 +229,10 @@ let run_search t send (design : Protocol.design) (config : Protocol.config) =
     Obs.Clock.time_s (fun () ->
         Dse.run ~samples:config.Protocol.samples
           ~iterations:config.Protocol.iterations ~seed:config.Protocol.seed
-          ~symbolic:config.Protocol.symbolic ~strategy ~cache ~memos ~pool:t.pool
-          ~job:job_tag
-          ~batch_wrap:(fun f -> Scheduler.with_turn ~label:job_tag t.sched f)
+          ~symbolic:config.Protocol.symbolic ~window:config.Protocol.window
+          ~strategy ~cache ~memos ~pool:t.pool ~job:job_tag
+          ~batch_wrap:(fun f -> Scheduler.with_eval ~label:job_tag t.sched f)
+          ~queue_wait:(Scheduler.note_wait t.sched)
           ~on_frontier:(fun frontier explored ->
             Jobs.progress t.registry job ~explored
               ~frontier_size:(List.length frontier);
@@ -381,7 +399,30 @@ let run t =
     if t.metrics_port <= 0 then None
     else Some (Thread.create (fun () -> metrics_listener t t.metrics_port) ())
   in
-  let last_ckpt = ref (Obs.Clock.now_ns ()) in
+  (* Periodic checkpoints run on their own thread so a slow [Store.save] of
+     a large store never stalls the accept loop or any search's turns; the
+     atomic tmp+rename inside [Store.save] keeps the on-disk store
+     consistent no matter when this fires. Polls the stop flag between
+     short sleeps so shutdown brings it down within a beat. *)
+  let ckpt_thread =
+    if t.checkpoint_every <= 0. then None
+    else
+      Some
+        (Thread.create
+           (fun () ->
+             let last_ckpt = ref (Obs.Clock.now_ns ()) in
+             while not (Atomic.get t.stop_flag) do
+               Thread.delay 0.25;
+               if
+                 (not (Atomic.get t.stop_flag))
+                 && Obs.Clock.since_s !last_ckpt >= t.checkpoint_every
+               then begin
+                 ignore (checkpoint t);
+                 last_ckpt := Obs.Clock.now_ns ()
+               end
+             done)
+           ())
+  in
   while not (Atomic.get t.stop_flag) do
     (match Unix.select [ fd ] [] [] 0.25 with
     | [ _ ], _, _ -> (
@@ -404,14 +445,7 @@ let run t =
             Logs.warn (fun k ->
                 k "scalehls-serve: accept: %s" (Printexc.to_string e)))
     | _ -> ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-    if
-      t.checkpoint_every > 0.
-      && Obs.Clock.since_s !last_ckpt >= t.checkpoint_every
-    then begin
-      ignore (checkpoint t);
-      last_ckpt := Obs.Clock.now_ns ()
-    end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
   done;
   Unix.close fd;
   (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ());
@@ -426,6 +460,9 @@ let run t =
     end
   in
   drain ();
+  (* Join the checkpoint thread before the final save so the two can't
+     overlap on the store file. *)
+  Option.iter Thread.join ckpt_thread;
   let records = checkpoint t in
   Logs.app (fun k -> k "scalehls-serve: checkpointed %d records, bye" records);
   Option.iter Thread.join scrape_thread;

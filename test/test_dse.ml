@@ -213,6 +213,52 @@ let test_surrogate_parallel_deterministic () =
   Alcotest.(check string) "strategy recorded in stats" "surrogate"
     r1.Dse.stats.Dse.strategy
 
+(* The acceptance-criterion test for the async executor: under adversarial
+   per-point latency (randomized worker-side sleeps injected via
+   [?batch_wrap], scrambling completion order), the -j 4 run's frontier,
+   eval-cache contents, and strategy counters must be bit-identical to the
+   -j 1 run — for both strategies and across window sizes. The pools are
+   built explicitly so the engine's cores clamp can't silently turn the
+   parallel arm into a sequential one on small CI machines. *)
+let check_adversarial_latency ~name strategy_of =
+  let run ~jobs ~window =
+    let ctx, m = compile_kernel ~n:16 Models.Polybench.Gemm in
+    let cache = Eval_cache.create () in
+    let ctr = Atomic.make 0 in
+    let jitter f =
+      (* Thread-safe, result-independent jitter: 0-10.5 ms per point,
+         pseudo-randomized by arrival order so neighboring points finish
+         wildly out of submission order. *)
+      let n = Atomic.fetch_and_add ctr 1 in
+      Unix.sleepf (float_of_int (n * 2654435761 land 7) *. 0.0015);
+      f ()
+    in
+    Parpool.with_pool ~jobs (fun pool ->
+        let r =
+          Dse.run ~samples:10 ~iterations:16 ~seed:11 ~window
+            ~strategy:(strategy_of ()) ~cache ~pool ~batch_wrap:jitter ctx m
+            ~top:"gemm" ~platform:P.xc7z020
+        in
+        ( frontier_sig r,
+          List.sort compare (Eval_cache.bindings cache),
+          r.Dse.stats.Dse.strategy_counters ))
+  in
+  List.iter
+    (fun window ->
+      let f1, b1, c1 = run ~jobs:1 ~window in
+      let f4, b4, c4 = run ~jobs:4 ~window in
+      let tag what = Printf.sprintf "%s (window %d): %s" name window what in
+      Alcotest.(check bool) (tag "frontier bit-identical") true (f1 = f4);
+      Alcotest.(check bool) (tag "eval-cache contents bit-identical") true (b1 = b4);
+      Alcotest.(check (list (pair string int))) (tag "strategy counters") c1 c4)
+    [ Dse.default_window; 6 ]
+
+let test_adversarial_latency_exhaustive () =
+  check_adversarial_latency ~name:"exhaustive" (fun () -> Dse.exhaustive)
+
+let test_adversarial_latency_surrogate () =
+  check_adversarial_latency ~name:"surrogate" (fun () -> Qor_ml.surrogate ())
+
 let test_run_cache_stats () =
   let ctx, m = compile_kernel ~n:8 Models.Polybench.Gemm in
   let r = Dse.run ~samples:10 ~iterations:12 ~seed:4 ctx m ~top:"gemm" ~platform:P.xc7z020 in
@@ -296,6 +342,65 @@ let test_parpool_propagates_exceptions () =
       (* the pool survives a failed batch *)
       Alcotest.(check (list int)) "pool still usable" [ 1; 2; 3 ]
         (Parpool.map pool Fun.id [ 1; 2; 3 ]))
+
+(* The streaming API under out-of-order completion: earlier submissions
+   sleep longer, so workers finish them last — awaiting by id must still
+   pair every result with its own task, and error results must carry the
+   failing task's exception without poisoning later tasks or the pool. *)
+let test_parpool_stream_out_of_order () =
+  Parpool.with_pool ~jobs:3 (fun pool ->
+      let st = Parpool.stream pool in
+      let ids =
+        List.init 6 (fun i ->
+            ( i,
+              Parpool.submit st (fun () ->
+                  Unix.sleepf (float_of_int (5 - i) *. 0.01);
+                  i * i) ))
+      in
+      List.iter
+        (fun (i, id) ->
+          Alcotest.(check int) (Printf.sprintf "task %d result" i) (i * i)
+            (Parpool.await st id))
+        ids;
+      Alcotest.(check int) "results consumed" 0 (Parpool.completed st);
+      Alcotest.(check int) "nothing in flight" 0 (Parpool.in_flight st);
+      (* Exception propagation: the failing task's error is delivered for
+         its id only; unrelated tasks and the pool survive. *)
+      let bad = Parpool.submit st (fun () -> raise (Boom 42)) in
+      let good = Parpool.submit st (fun () -> 5) in
+      (match Parpool.await_result st bad with
+      | Error (Boom 42, _) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected Error (Boom 42)");
+      Alcotest.(check int) "later task unaffected" 5 (Parpool.await st good);
+      (* [await] re-raises the original exception. *)
+      let bad2 = Parpool.submit st (fun () -> raise (Boom 1)) in
+      (match Parpool.await st bad2 with
+      | exception Boom 1 -> ()
+      | _ -> Alcotest.fail "await must re-raise");
+      (* [take] consumes exactly once. *)
+      let id = Parpool.submit st (fun () -> 9) in
+      (match Parpool.await_result st id with
+      | Ok 9 -> ()
+      | _ -> Alcotest.fail "expected Ok 9");
+      Alcotest.(check bool) "take after consume is None" true
+        (Parpool.take st id = None);
+      (* The pool is reusable after stream errors — including batch map. *)
+      Alcotest.(check (list int)) "map still works" [ 0; 2; 4 ]
+        (Parpool.map pool (fun x -> 2 * x) [ 0; 1; 2 ]))
+
+(* jobs=1 streams run inline at submit time; a raising task must capture
+   its exception into the result (never raise at [submit]). *)
+let test_parpool_stream_inline () =
+  let pool = Parpool.create ~jobs:1 () in
+  let st = Parpool.stream pool in
+  let id = Parpool.submit st (fun () -> 3) in
+  Alcotest.(check int) "inline result ready" 1 (Parpool.completed st);
+  Alcotest.(check int) "inline result" 3 (Parpool.await st id);
+  let bad = Parpool.submit st (fun () -> raise (Boom 9)) in
+  (match Parpool.await st bad with
+  | exception Boom 9 -> ()
+  | _ -> Alcotest.fail "inline submit must capture, await must re-raise");
+  Parpool.shutdown pool
 
 (* ---- Fingerprinting --------------------------------------------------------------------- *)
 
@@ -502,6 +607,9 @@ let suite =
       Alcotest.test_case "parpool: map = sequential map" `Quick test_parpool_matches_sequential;
       Alcotest.test_case "parpool: jobs=1 inline" `Quick test_parpool_inline_when_sequential;
       Alcotest.test_case "parpool: exceptions" `Quick test_parpool_propagates_exceptions;
+      Alcotest.test_case "parpool: stream out-of-order" `Quick
+        test_parpool_stream_out_of_order;
+      Alcotest.test_case "parpool: stream inline" `Quick test_parpool_stream_inline;
       Alcotest.test_case "space: gemm dimensions" `Quick test_space_gemm;
       Alcotest.test_case "space: rvb only when variable bounds" `Quick test_space_rvb_only_for_triangular;
       Alcotest.test_case "neighbors move one dimension" `Quick test_neighbors_are_close;
@@ -514,6 +622,10 @@ let suite =
       Alcotest.test_case "parallel dse: -j invariant (syrk)" `Slow test_parallel_deterministic_syrk;
       Alcotest.test_case "parallel dse: -j invariant (surrogate)" `Slow
         test_surrogate_parallel_deterministic;
+      Alcotest.test_case "parallel dse: adversarial latency (exhaustive)" `Slow
+        test_adversarial_latency_exhaustive;
+      Alcotest.test_case "parallel dse: adversarial latency (surrogate)" `Slow
+        test_adversarial_latency_surrogate;
       Alcotest.test_case "fingerprint: deterministic across contexts" `Quick
         test_fingerprint_deterministic;
       Alcotest.test_case "fingerprint: structural sensitivity" `Quick
